@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the memory-hierarchy substrate: raw set-associative
+//! cache accesses and end-to-end engine throughput (simulated accesses per
+//! wall-clock second), which bounds how long each paper experiment takes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use stms_bench::{bench_trace, chase_trace};
+use stms_core::{Stms, StmsConfig};
+use stms_mem::{CacheConfig, CmpSimulator, NullPrefetcher, SetAssocCache, SimOptions, SystemConfig};
+use stms_types::LineAddr;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(64 * 1024));
+    group.bench_function("set_assoc_64k_accesses", |b| {
+        let cfg = CacheConfig {
+            capacity_bytes: 256 * 1024,
+            associativity: 16,
+            line_bytes: 64,
+            hit_latency: 20,
+        };
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(cfg);
+            let mut hits = 0u64;
+            for i in 0..64 * 1024u64 {
+                let line = LineAddr::new((i * 17) % 8192);
+                if cache.access(line, i % 5 == 0).is_hit() {
+                    hits += 1;
+                } else {
+                    cache.fill(line, false);
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    let chase = chase_trace(30_000);
+    group.throughput(Throughput::Elements(chase.len() as u64));
+    group.bench_function("baseline_pointer_chase", |b| {
+        let sys = SystemConfig::tiny_for_tests();
+        b.iter(|| {
+            let result = CmpSimulator::new(&sys, SimOptions::default())
+                .run(&chase, &mut NullPrefetcher::new());
+            black_box(result.cycles)
+        });
+    });
+
+    let trace = bench_trace();
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("stms_full_system", |b| {
+        let cfg = stms_bench::bench_config();
+        b.iter(|| {
+            let mut stms = Stms::new(StmsConfig { cores: cfg.system.cores, ..StmsConfig::scaled_default() });
+            let result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut stms);
+            black_box(result.coverage())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_engine);
+criterion_main!(benches);

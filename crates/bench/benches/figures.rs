@@ -1,0 +1,76 @@
+//! One benchmark per reproduced table/figure of the paper.
+//!
+//! Each benchmark runs the corresponding experiment function from
+//! `stms-sim` at a reduced trace length (the full-scale figures are
+//! regenerated with the `stms-experiments` binary; these benches exist to
+//! track the cost of each experiment and to catch regressions in the
+//! pipeline that produces it).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stms_bench::bench_config;
+use stms_sim::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_system_model", |b| {
+        b.iter(|| black_box(experiments::table1_system(&cfg).table.row_count()))
+    });
+    group.bench_function("table2_mlp", |b| {
+        b.iter(|| black_box(experiments::table2_mlp(&cfg).table.row_count()))
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_right_published_overheads", |b| {
+        b.iter(|| black_box(experiments::fig1_right_published_overheads().table.row_count()))
+    });
+    group.bench_function("fig4_potential", |b| {
+        b.iter(|| black_box(experiments::fig4_potential(&cfg).table.row_count()))
+    });
+    group.bench_function("fig6_left_stream_length_cdf", |b| {
+        b.iter(|| black_box(experiments::fig6_left_stream_length_cdf(&cfg).table.row_count()))
+    });
+    group.bench_function("fig7_traffic_breakdown", |b| {
+        b.iter(|| black_box(experiments::fig7_traffic_breakdown(&cfg).table.row_count()))
+    });
+    group.bench_function("fig9_final_comparison", |b| {
+        b.iter(|| black_box(experiments::fig9_final_comparison(&cfg).table.row_count()))
+    });
+    group.finish();
+}
+
+/// The sweep-style figures (1-left, 5, 6-right, 8) are substantially more
+/// expensive; bench them at an even smaller scale and lower resolution by
+/// running a single representative configuration each.
+fn bench_sweeps(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("sweep_figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_left_entries_sweep", |b| {
+        b.iter(|| black_box(experiments::fig1_left_entries_sweep(&cfg).table.row_count()))
+    });
+    group.bench_function("fig5_history_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5_history_sweep(&cfg).table.row_count()))
+    });
+    group.bench_function("fig5_index_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5_index_sweep(&cfg).table.row_count()))
+    });
+    group.bench_function("fig6_right_depth_loss", |b| {
+        b.iter(|| black_box(experiments::fig6_right_depth_loss(&cfg).table.row_count()))
+    });
+    group.bench_function("fig8_sampling_sweep", |b| {
+        b.iter(|| black_box(experiments::fig8_sampling_sweep(&cfg).table.row_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the history-buffer structures: the off-chip per-core
+//! history with packed block writes (STMS, §4.2) and the raw circular log it
+//! is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stms_core::OffChipHistory;
+use stms_mem::{DramModel, SystemConfig};
+use stms_prefetch::HistoryLog;
+use stms_types::{CoreId, Cycle, LineAddr};
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_buffer");
+    group.sample_size(20);
+
+    group.bench_function("offchip_append_4k", |b| {
+        b.iter(|| {
+            let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
+            let mut history = OffChipHistory::new(4, 64 * 1024, 12);
+            for i in 0..4_096u64 {
+                let core = CoreId::new((i % 4) as u16);
+                history.append(core, LineAddr::new(i * 3), Cycle::new(i), &mut dram);
+            }
+            black_box((history.appended(), dram.traffic().meta_record))
+        });
+    });
+
+    group.bench_function("offchip_stream_read_4k", |b| {
+        // Pre-populate once per iteration, then read the stream back in
+        // blocks the way the stream engine does.
+        b.iter(|| {
+            let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
+            let mut history = OffChipHistory::new(1, 64 * 1024, 12);
+            for i in 0..4_096u64 {
+                history.append(CoreId::new(0), LineAddr::new(i), Cycle::ZERO, &mut dram);
+            }
+            let mut pos = 0u64;
+            let mut total = 0usize;
+            while pos < 4_096 {
+                let block = history.read_block(CoreId::new(0), pos, Cycle::new(pos), &mut dram);
+                if block.addresses.is_empty() {
+                    break;
+                }
+                total += block.addresses.len();
+                pos += block.addresses.len() as u64;
+            }
+            black_box(total)
+        });
+    });
+
+    group.bench_function("raw_log_append_read_16k", |b| {
+        b.iter(|| {
+            let mut log = HistoryLog::new(16 * 1024);
+            for i in 0..16_384u64 {
+                log.append(LineAddr::new(i ^ 0xABCD));
+            }
+            let run = log.read_from(8_000, 256);
+            black_box(run.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! tables and figures and measure the cost of the core data structures.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `index_table` — lookup/update throughput of the bucketized main-memory
+//!   hash index table and of the idealized LRU index (ablation of §4.3's
+//!   design choice);
+//! * `history_buffer` — append/read throughput of the off-chip history
+//!   buffers and the underlying circular log;
+//! * `cache_hierarchy` — set-associative cache accesses and end-to-end
+//!   engine throughput (accesses simulated per second);
+//! * `figures` — miniature versions of each paper experiment (Table 2 and
+//!   Figures 4–9 style runs) so regressions in the full pipeline are caught.
+
+#![warn(missing_docs)]
+
+use stms_sim::ExperimentConfig;
+use stms_types::{CoreId, LineAddr, MemAccess, Trace, TraceMeta};
+use stms_workloads::{generate, presets, WorkloadSpec};
+
+/// Experiment configuration used by the benchmarks: the scaled system with a
+/// short trace so that one iteration stays in the low milliseconds.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::quick().with_accesses(30_000)
+}
+
+/// A small but repetitive workload whose streams recur even in short traces.
+pub fn bench_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "bench".into(),
+        max_pool_streams: 300,
+        p_repeat: 0.8,
+        p_noise: 0.05,
+        hot_fraction: 0.3,
+        hot_lines: 400,
+        mean_gap: 8,
+        accesses: 30_000,
+        ..presets::web_apache()
+    }
+}
+
+/// Generates the benchmark trace.
+pub fn bench_trace() -> Trace {
+    generate(&bench_workload())
+}
+
+/// A synthetic pointer-chase trace touching `lines` distinct lines on one
+/// core (used for raw cache/engine micro-benchmarks).
+pub fn chase_trace(lines: u64) -> Trace {
+    let mut trace = Trace::new(TraceMeta {
+        workload: "chase".into(),
+        cores: 1,
+        seed: 1,
+        footprint_lines: lines,
+    });
+    for i in 0..lines {
+        let line = LineAddr::new((i.wrapping_mul(0x9E37_79B9)) % lines + 1_000_000);
+        trace.push(MemAccess::read(CoreId::new(0), line).with_gap(2).with_dependence(i % 3 == 0));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_nonempty_traces() {
+        assert_eq!(bench_trace().len(), 30_000);
+        assert_eq!(chase_trace(100).len(), 100);
+        assert!(bench_config().accesses <= 30_000);
+        assert!(bench_workload().validate().is_ok());
+    }
+}

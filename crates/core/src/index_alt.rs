@@ -1,0 +1,392 @@
+//! Alternative main-memory index-table organizations.
+//!
+//! §4.3 of the paper notes that "any associative lookup structure can be
+//! used to implement an index table" and that the authors examined several —
+//! open-address hash tables, longer bucket chains, tree structures — before
+//! settling on the single-block bucketized table, because the alternatives
+//! were "either less storage efficient or sacrificed additional coverage due
+//! to increased lookup latency". This module implements two of those rejected
+//! organizations so the trade-off can be reproduced (see the
+//! `ablation-index` experiment):
+//!
+//! * [`OpenAddressIndex`] — one `{address, pointer}` entry per memory *word*,
+//!   linear probing across 64-byte blocks: dense storage, but a lookup may
+//!   touch several blocks (several memory round trips).
+//! * [`ChainedIndex`] — buckets that overflow into chained blocks: unbounded
+//!   per-bucket capacity, but cold lookups walk the chain.
+//!
+//! Both expose the same `lookup`/`update` shape as
+//! [`crate::HashIndexTable`] and report how many memory blocks each
+//! operation touched, which is the quantity that matters for latency and
+//! bandwidth.
+
+use crate::index::HistoryPointer;
+use stms_mem::{DramModel, TrafficClass};
+use stms_types::{Cycle, LineAddr};
+
+/// Outcome of a lookup in an alternative index organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AltLookup {
+    /// The pointer found, if any.
+    pub pointer: Option<HistoryPointer>,
+    /// Cycle at which the result is known.
+    pub ready_at: Cycle,
+    /// Number of 64-byte memory blocks read to resolve the lookup.
+    pub blocks_read: u32,
+}
+
+/// Entries that fit in one 64-byte block for the open-address layout
+/// (8 bytes of tag + pointer per entry).
+const OPEN_ADDRESS_ENTRIES_PER_BLOCK: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    line: LineAddr,
+    pointer: HistoryPointer,
+}
+
+/// An open-addressing (linear-probing) main-memory hash table.
+///
+/// Storage density is maximal (every slot can be used), but once the table
+/// fills up, lookups and updates probe across block boundaries and cost
+/// multiple memory round trips — exactly the latency problem the bucketized
+/// design avoids.
+///
+/// # Example
+///
+/// ```
+/// use stms_core::{HistoryPointer, OpenAddressIndex};
+/// use stms_mem::{DramModel, SystemConfig};
+/// use stms_types::{CoreId, Cycle, LineAddr};
+///
+/// let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
+/// let mut index = OpenAddressIndex::new(1024);
+/// let ptr = HistoryPointer { core: CoreId::new(0), position: 7 };
+/// index.update(LineAddr::new(42), ptr, Cycle::ZERO, &mut dram);
+/// let found = index.lookup(LineAddr::new(42), Cycle::ZERO, &mut dram);
+/// assert_eq!(found.pointer, Some(ptr));
+/// assert!(found.blocks_read >= 1);
+/// ```
+#[derive(Debug)]
+pub struct OpenAddressIndex {
+    slots: Vec<Option<Slot>>,
+    occupied: usize,
+    /// Bound on probes so a nearly-full table cannot scan forever.
+    max_probe_blocks: u32,
+}
+
+impl OpenAddressIndex {
+    /// Creates a table with `slots` entry slots (rounded up to a whole number
+    /// of blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "open-address index needs at least one slot");
+        let rounded = slots.div_ceil(OPEN_ADDRESS_ENTRIES_PER_BLOCK) * OPEN_ADDRESS_ENTRIES_PER_BLOCK;
+        OpenAddressIndex { slots: vec![None; rounded], occupied: 0, max_probe_blocks: 8 }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Bytes of main memory the table occupies.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.slots.len() / OPEN_ADDRESS_ENTRIES_PER_BLOCK) as u64 * 64
+    }
+
+    fn home_slot(&self, line: LineAddr) -> usize {
+        let mut h = line.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        (h % self.slots.len() as u64) as usize
+    }
+
+    /// Looks up `line`, probing linearly slot by slot from its home slot and
+    /// paying one memory read each time the probe sequence enters a new
+    /// 64-byte block.
+    pub fn lookup(&self, line: LineAddr, now: Cycle, dram: &mut DramModel) -> AltLookup {
+        let home = self.home_slot(line);
+        let len = self.slots.len();
+        let max_probes = (self.max_probe_blocks as usize * OPEN_ADDRESS_ENTRIES_PER_BLOCK).min(len);
+        let mut ready_at = now;
+        let mut blocks_read = 0;
+        let mut current_block = usize::MAX;
+        for probe in 0..max_probes {
+            let idx = (home + probe) % len;
+            let block = idx / OPEN_ADDRESS_ENTRIES_PER_BLOCK;
+            if block != current_block {
+                ready_at = dram.access(TrafficClass::MetaLookup, 64, ready_at);
+                blocks_read += 1;
+                current_block = block;
+            }
+            match &self.slots[idx] {
+                Some(s) if s.line == line => {
+                    return AltLookup { pointer: Some(s.pointer), ready_at, blocks_read };
+                }
+                // Linear probing invariant: an entry is never stored beyond
+                // the first empty slot of its probe path.
+                None => break,
+                _ => {}
+            }
+        }
+        AltLookup { pointer: None, ready_at, blocks_read }
+    }
+
+    /// Inserts or refreshes `line -> pointer`, probing for the entry or a
+    /// free slot. Returns the number of blocks touched (read-modify-write).
+    /// When the probe budget is exhausted on a full region, the home slot is
+    /// overwritten (the table cannot grow).
+    pub fn update(
+        &mut self,
+        line: LineAddr,
+        pointer: HistoryPointer,
+        now: Cycle,
+        dram: &mut DramModel,
+    ) -> u32 {
+        let home = self.home_slot(line);
+        let len = self.slots.len();
+        let mut blocks = 0;
+        let mut target: Option<usize> = None;
+        for probe in 0..(self.max_probe_blocks as usize * OPEN_ADDRESS_ENTRIES_PER_BLOCK).min(len) {
+            let idx = (home + probe) % len;
+            if probe % OPEN_ADDRESS_ENTRIES_PER_BLOCK == 0 {
+                dram.access(TrafficClass::MetaUpdate, 64, now);
+                blocks += 1;
+            }
+            match &self.slots[idx] {
+                Some(s) if s.line == line => {
+                    target = Some(idx);
+                    break;
+                }
+                None => {
+                    target = Some(idx);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let idx = target.unwrap_or(home);
+        if self.slots[idx].is_none() {
+            self.occupied += 1;
+        }
+        self.slots[idx] = Some(Slot { line, pointer });
+        // Write back the modified block.
+        dram.access(TrafficClass::MetaUpdate, 64, now);
+        blocks + 1
+    }
+}
+
+/// One chained bucket: a head block plus overflow blocks.
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    entries: Vec<Slot>,
+}
+
+/// A chained-bucket hash table: each bucket grows by linking additional
+/// 64-byte blocks, so no entry is ever displaced, but a lookup may have to
+/// walk the whole chain (one memory access per link).
+#[derive(Debug)]
+pub struct ChainedIndex {
+    chains: Vec<Chain>,
+    entries_per_block: usize,
+    entries: usize,
+}
+
+impl ChainedIndex {
+    /// Creates a chained table with `buckets` chains whose blocks hold
+    /// `entries_per_block` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(buckets: usize, entries_per_block: usize) -> Self {
+        assert!(buckets > 0 && entries_per_block > 0);
+        ChainedIndex { chains: vec![Chain::default(); buckets], entries_per_block, entries: 0 }
+    }
+
+    /// Total entries stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Bytes of main memory the table occupies (head blocks plus overflow).
+    pub fn storage_bytes(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(|c| c.entries.len().div_ceil(self.entries_per_block).max(1) as u64 * 64)
+            .sum()
+    }
+
+    fn chain_of(&self, line: LineAddr) -> usize {
+        let mut h = line.raw().wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 29;
+        (h % self.chains.len() as u64) as usize
+    }
+
+    /// Looks up `line`, walking the chain one block at a time.
+    pub fn lookup(&self, line: LineAddr, now: Cycle, dram: &mut DramModel) -> AltLookup {
+        let chain = &self.chains[self.chain_of(line)];
+        let mut ready_at = now;
+        let mut blocks_read = 0;
+        let blocks = chain.entries.len().div_ceil(self.entries_per_block).max(1);
+        for block in 0..blocks {
+            ready_at = dram.access(TrafficClass::MetaLookup, 64, ready_at);
+            blocks_read += 1;
+            let base = block * self.entries_per_block;
+            let end = (base + self.entries_per_block).min(chain.entries.len());
+            if let Some(slot) = chain.entries[base..end].iter().find(|s| s.line == line) {
+                return AltLookup { pointer: Some(slot.pointer), ready_at, blocks_read };
+            }
+        }
+        AltLookup { pointer: None, ready_at, blocks_read }
+    }
+
+    /// Inserts or refreshes `line -> pointer`; new entries append to the
+    /// chain's most recent block (allocating an overflow block if needed).
+    pub fn update(
+        &mut self,
+        line: LineAddr,
+        pointer: HistoryPointer,
+        now: Cycle,
+        dram: &mut DramModel,
+    ) -> u32 {
+        let idx = self.chain_of(line);
+        let chain = &mut self.chains[idx];
+        dram.access(TrafficClass::MetaUpdate, 64, now);
+        if let Some(slot) = chain.entries.iter_mut().find(|s| s.line == line) {
+            slot.pointer = pointer;
+        } else {
+            chain.entries.push(Slot { line, pointer });
+            self.entries += 1;
+        }
+        1
+    }
+
+    /// Length (in blocks) of the longest chain — the worst-case lookup cost.
+    pub fn longest_chain_blocks(&self) -> usize {
+        self.chains
+            .iter()
+            .map(|c| c.entries.len().div_ceil(self.entries_per_block).max(1))
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stms_mem::SystemConfig;
+    use stms_types::CoreId;
+
+    fn dram() -> DramModel {
+        DramModel::new(SystemConfig::hpca09_baseline().dram)
+    }
+
+    fn ptr(position: u64) -> HistoryPointer {
+        HistoryPointer { core: CoreId::new(0), position }
+    }
+
+    #[test]
+    fn open_address_round_trip() {
+        let mut d = dram();
+        let mut idx = OpenAddressIndex::new(256);
+        assert!(idx.is_empty());
+        idx.update(LineAddr::new(1), ptr(10), Cycle::ZERO, &mut d);
+        idx.update(LineAddr::new(2), ptr(20), Cycle::ZERO, &mut d);
+        idx.update(LineAddr::new(1), ptr(11), Cycle::ZERO, &mut d);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.lookup(LineAddr::new(1), Cycle::ZERO, &mut d).pointer, Some(ptr(11)));
+        assert_eq!(idx.lookup(LineAddr::new(3), Cycle::ZERO, &mut d).pointer, None);
+        assert!(idx.storage_bytes() >= 256 / 8 * 64);
+    }
+
+    #[test]
+    fn open_address_probing_costs_more_blocks_when_loaded() {
+        let mut d = dram();
+        let mut idx = OpenAddressIndex::new(64);
+        // Load the table to near capacity so probes cross block boundaries.
+        for i in 0..60u64 {
+            idx.update(LineAddr::new(i * 131), ptr(i), Cycle::ZERO, &mut d);
+        }
+        let mut max_blocks = 0;
+        for i in 0..60u64 {
+            let l = idx.lookup(LineAddr::new(i * 131), Cycle::ZERO, &mut d);
+            assert_eq!(l.pointer, Some(ptr(i)));
+            max_blocks = max_blocks.max(l.blocks_read);
+        }
+        assert!(
+            max_blocks > 1,
+            "a nearly-full open-address table must probe across blocks (max {max_blocks})"
+        );
+    }
+
+    #[test]
+    fn open_address_lookup_latency_grows_with_probes() {
+        let mut d = dram();
+        let idx = OpenAddressIndex::new(64);
+        let l = idx.lookup(LineAddr::new(5), Cycle::new(100), &mut d);
+        assert!(l.ready_at >= Cycle::new(280), "at least one memory round trip");
+        assert_eq!(l.blocks_read, 1, "an empty table stops at the first (empty) block");
+    }
+
+    #[test]
+    fn chained_round_trip_and_growth() {
+        let mut d = dram();
+        let mut idx = ChainedIndex::new(4, 4);
+        assert!(idx.is_empty());
+        for i in 0..32u64 {
+            idx.update(LineAddr::new(i), ptr(i), Cycle::ZERO, &mut d);
+        }
+        assert_eq!(idx.len(), 32);
+        for i in 0..32u64 {
+            assert_eq!(idx.lookup(LineAddr::new(i), Cycle::ZERO, &mut d).pointer, Some(ptr(i)));
+        }
+        // 32 entries over 4 chains of 4-entry blocks -> chains of ~2 blocks.
+        assert!(idx.longest_chain_blocks() >= 2);
+        assert!(idx.storage_bytes() >= 8 * 64);
+        // Updating an existing entry does not grow the chain.
+        idx.update(LineAddr::new(0), ptr(99), Cycle::ZERO, &mut d);
+        assert_eq!(idx.len(), 32);
+        assert_eq!(idx.lookup(LineAddr::new(0), Cycle::ZERO, &mut d).pointer, Some(ptr(99)));
+    }
+
+    #[test]
+    fn chained_lookup_cost_grows_with_chain_length() {
+        let mut d = dram();
+        let mut idx = ChainedIndex::new(1, 4);
+        for i in 0..40u64 {
+            idx.update(LineAddr::new(i), ptr(i), Cycle::ZERO, &mut d);
+        }
+        // The last-inserted entries live deep in the chain.
+        let deep = idx.lookup(LineAddr::new(39), Cycle::ZERO, &mut d);
+        assert!(deep.blocks_read >= 5, "deep entries cost many block reads, got {}", deep.blocks_read);
+        let missing = idx.lookup(LineAddr::new(999), Cycle::ZERO, &mut d);
+        assert_eq!(missing.pointer, None);
+        assert_eq!(missing.blocks_read as usize, idx.longest_chain_blocks());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = OpenAddressIndex::new(0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Used for both the per-core L1 data caches and the shared L2 of the
+//! simulated CMP. The model is functional (tag-only): it tracks presence and
+//! dirtiness of lines, not their contents.
+
+use crate::config::CacheConfig;
+use stms_types::LineAddr;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Address of the evicted line.
+    pub line: LineAddr,
+    /// Whether the evicted line was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+impl Way {
+    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of lines filled.
+    pub fills: u64,
+    /// Number of dirty evictions.
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero if no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use stms_mem::{CacheConfig, SetAssocCache};
+/// use stms_types::LineAddr;
+///
+/// let mut cache = SetAssocCache::new(CacheConfig {
+///     capacity_bytes: 4096,
+///     associativity: 2,
+///     line_bytes: 64,
+///     hit_latency: 2,
+/// });
+/// let line = LineAddr::new(7);
+/// assert!(!cache.access(line, false).is_hit());
+/// cache.fill(line, false);
+/// assert!(cache.access(line, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sets is not a power of two or associativity is
+    /// zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(cfg.associativity > 0, "associativity must be non-zero");
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        SetAssocCache {
+            cfg,
+            sets: vec![vec![Way::EMPTY; cfg.associativity]; sets],
+            set_mask: (sets - 1) as u64,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.set_mask.count_ones()
+    }
+
+    /// Performs a lookup; on a hit the line's recency is updated and, for
+    /// writes, the line is marked dirty. Misses do **not** allocate — call
+    /// [`SetAssocCache::fill`] once the miss is serviced.
+    pub fn access(&mut self, line: LineAddr, is_write: bool) -> CacheOutcome {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.lru = clock;
+                way.dirty |= is_write;
+                self.stats.hits += 1;
+                return CacheOutcome::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        CacheOutcome::Miss
+    }
+
+    /// Checks presence without updating recency or statistics.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Inserts a line, evicting the LRU way of its set if needed. Returns the
+    /// eviction, if any. If the line is already present the call only updates
+    /// its dirty bit and recency.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
+        let set_idx = self.set_index(line);
+        let tag = self.tag(line);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set_bits = self.set_mask.count_ones();
+        self.stats.fills += 1;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.dirty |= dirty;
+            way.lru = clock;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
+            *way = Way { tag, valid: true, dirty, lru: clock };
+            return None;
+        }
+        // Evict the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("associativity is non-zero");
+        let evicted_line =
+            LineAddr::new((victim.tag << set_bits) | set_idx as u64);
+        let eviction = Eviction { line: evicted_line, dirty: victim.dirty };
+        if eviction.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        *victim = Way { tag, valid: true, dirty, lru: clock };
+        Some(eviction)
+    }
+
+    /// Removes a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the hit/miss counters (contents are preserved), used after
+    /// cache warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(assoc: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            capacity_bytes: 64 * 8 * assoc, // 8 sets
+            associativity: assoc,
+            line_bytes: 64,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache(2);
+        let l = LineAddr::new(3);
+        assert_eq!(c.access(l, false), CacheOutcome::Miss);
+        assert!(c.fill(l, false).is_none());
+        assert_eq!(c.access(l, false), CacheOutcome::Hit);
+        assert!(c.probe(l));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache(2);
+        // Three lines mapping to the same set (8 sets => stride of 8 lines).
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        let d = LineAddr::new(16);
+        c.fill(a, false);
+        c.fill(b, false);
+        // Touch `a` so `b` becomes LRU.
+        assert!(c.access(a, false).is_hit());
+        let evicted = c.fill(d, false).expect("set is full");
+        assert_eq!(evicted.line, b);
+        assert!(c.probe(a));
+        assert!(c.probe(d));
+        assert!(!c.probe(b));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small_cache(1);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(8);
+        c.fill(a, false);
+        assert!(c.access(a, true).is_hit()); // make dirty via a write hit
+        let ev = c.fill(b, false).expect("direct-mapped conflict");
+        assert!(ev.dirty);
+        assert_eq!(ev.line, a);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn fill_existing_line_does_not_evict() {
+        let mut c = small_cache(2);
+        let a = LineAddr::new(5);
+        c.fill(a, false);
+        assert!(c.fill(a, true).is_none());
+        // The line is now dirty: evicting it reports dirty.
+        let conflicting = LineAddr::new(5 + 8);
+        c.fill(conflicting, false);
+        let ev = c.fill(LineAddr::new(5 + 16), false).expect("evicts LRU");
+        assert_eq!(ev.line, a);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache(2);
+        let a = LineAddr::new(9);
+        c.fill(a, true);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert!(!c.probe(a));
+        assert_eq!(c.invalidate(a), None);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = small_cache(2);
+        assert_eq!(c.occupancy(), 0);
+        for i in 0..5 {
+            c.fill(LineAddr::new(i), false);
+        }
+        assert_eq!(c.occupancy(), 5);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = small_cache(2);
+        let a = LineAddr::new(1);
+        c.fill(a, false);
+        c.access(a, false);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.probe(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = SetAssocCache::new(CacheConfig {
+            capacity_bytes: 64 * 3,
+            associativity: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+    }
+
+    #[test]
+    fn eviction_reconstructs_correct_address() {
+        let mut c = small_cache(1);
+        let victim = LineAddr::new(0x1234 * 8 + 3);
+        c.fill(victim, false);
+        let ev = c.fill(LineAddr::new(0x9999 * 8 + 3), false).unwrap();
+        assert_eq!(ev.line, victim);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small_cache(1);
+        for i in 0..8 {
+            c.fill(LineAddr::new(i), false);
+        }
+        for i in 0..8 {
+            assert!(c.probe(LineAddr::new(i)), "line {i} should still be resident");
+        }
+    }
+}

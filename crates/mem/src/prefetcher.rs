@@ -1,0 +1,159 @@
+//! The prefetcher interface seen by the simulation engine.
+//!
+//! Temporal-streaming prefetchers (idealized TMS, STMS, and the baselines
+//! from prior work) implement [`Prefetcher`]. The engine owns the on-chip
+//! stream-following machinery (per-core FIFO address queue and prefetch
+//! buffer, see [`crate::stream`]); the prefetcher supplies *which* addresses
+//! to stream, *when* they become available (meta-data lookup latency) and
+//! performs its own meta-data traffic through the [`crate::DramModel`] handed
+//! to it.
+
+use crate::dram::DramModel;
+use stms_types::{CoreId, Cycle, LineAddr};
+
+/// Addresses returned by a predictor lookup, plus the cycle at which they are
+/// available for prefetching (i.e. after the meta-data round trips).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// Predicted future miss addresses, in expected demand order.
+    pub addresses: Vec<LineAddr>,
+    /// Cycle at which the addresses become available to the stream engine.
+    pub ready_at: Cycle,
+}
+
+impl StreamChunk {
+    /// A chunk carrying no addresses: the stream is exhausted.
+    pub fn empty(now: Cycle) -> Self {
+        StreamChunk { addresses: Vec::new(), ready_at: now }
+    }
+
+    /// Whether the chunk carries no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+}
+
+/// A temporal-streaming (address-correlating) prefetcher.
+///
+/// The engine calls the hooks in this order for each core:
+///
+/// 1. [`Prefetcher::on_trigger`] on an off-chip demand read miss that was not
+///    covered by an active stream — the prefetcher looks up its meta-data and
+///    may return the first [`StreamChunk`] of a new stream.
+/// 2. [`Prefetcher::next_chunk`] whenever the engine's address queue for the
+///    active stream runs low.
+/// 3. [`Prefetcher::record`] for every correct-path off-chip read miss and
+///    every prefetched hit, so the prefetcher can log the address in its
+///    history and (possibly) update its index.
+/// 4. [`Prefetcher::finish`] once at the end of simulation.
+pub trait Prefetcher {
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Handles an off-chip demand read miss that starts (or restarts) a
+    /// stream. Returning `None` means no stream was found and nothing will be
+    /// prefetched until the next trigger.
+    fn on_trigger(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        now: Cycle,
+        dram: &mut DramModel,
+    ) -> Option<StreamChunk>;
+
+    /// Supplies more addresses for the core's active stream. Returning an
+    /// empty chunk ends the stream.
+    fn next_chunk(&mut self, core: CoreId, now: Cycle, dram: &mut DramModel) -> StreamChunk;
+
+    /// Records a correct-path off-chip read miss (`prefetched == false`) or a
+    /// prefetched hit (`prefetched == true`) into the predictor meta-data.
+    fn record(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        prefetched: bool,
+        now: Cycle,
+        dram: &mut DramModel,
+    );
+
+    /// Notification that a prefetched block was evicted from the prefetch
+    /// buffer without being used. Prefetchers may use this to annotate
+    /// end-of-stream meta-data. The default implementation ignores it.
+    fn on_unused(&mut self, _core: CoreId, _line: LineAddr) {}
+
+    /// Called once when simulation ends so buffered meta-data (e.g. the
+    /// cache-block-sized history write buffer) can be flushed.
+    fn finish(&mut self, _now: Cycle, _dram: &mut DramModel) {}
+}
+
+/// A prefetcher that never prefetches: the baseline system (stride prefetcher
+/// only, which the engine models separately).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPrefetcher;
+
+impl NullPrefetcher {
+    /// Creates a no-op prefetcher.
+    pub fn new() -> Self {
+        NullPrefetcher
+    }
+}
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn on_trigger(
+        &mut self,
+        _core: CoreId,
+        _line: LineAddr,
+        _now: Cycle,
+        _dram: &mut DramModel,
+    ) -> Option<StreamChunk> {
+        None
+    }
+
+    fn next_chunk(&mut self, _core: CoreId, now: Cycle, _dram: &mut DramModel) -> StreamChunk {
+        StreamChunk::empty(now)
+    }
+
+    fn record(
+        &mut self,
+        _core: CoreId,
+        _line: LineAddr,
+        _prefetched: bool,
+        _now: Cycle,
+        _dram: &mut DramModel,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    #[test]
+    fn null_prefetcher_does_nothing() {
+        let mut p = NullPrefetcher::new();
+        let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
+        assert_eq!(p.name(), "baseline");
+        assert!(p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut dram)
+            .is_none());
+        assert!(p.next_chunk(CoreId::new(0), Cycle::ZERO, &mut dram).is_empty());
+        p.record(CoreId::new(0), LineAddr::new(1), false, Cycle::ZERO, &mut dram);
+        p.on_unused(CoreId::new(0), LineAddr::new(1));
+        p.finish(Cycle::ZERO, &mut dram);
+        assert_eq!(dram.traffic().total(), 0);
+    }
+
+    #[test]
+    fn stream_chunk_empty() {
+        let c = StreamChunk::empty(Cycle::new(5));
+        assert!(c.is_empty());
+        assert_eq!(c.ready_at, Cycle::new(5));
+        let full = StreamChunk { addresses: vec![LineAddr::new(1)], ready_at: Cycle::ZERO };
+        assert!(!full.is_empty());
+    }
+}

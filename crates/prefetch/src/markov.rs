@@ -1,0 +1,262 @@
+//! The Markov prefetcher of Joseph and Grunwald (pair-wise address
+//! correlation), the simplest baseline discussed in §2.
+//!
+//! The hardware is a set-associative correlation table mapping a miss address
+//! to a few recently-observed successor addresses. Each prediction covers at
+//! most `ways_successors` misses, so memory-level parallelism and lookahead
+//! are limited — the key shortcoming that temporal streaming addresses.
+
+use stms_mem::{DramModel, Prefetcher, StreamChunk};
+use stms_types::{CoreId, Cycle, LineAddr};
+
+/// Configuration of the Markov prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// Number of cores (for per-core last-miss tracking).
+    pub cores: usize,
+    /// Total number of correlation-table entries.
+    pub entries: usize,
+    /// Table associativity.
+    pub associativity: usize,
+    /// Successors stored (and prefetched) per entry.
+    pub successors: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig { cores: 4, entries: 64 * 1024, associativity: 8, successors: 2 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tag: LineAddr,
+    successors: Vec<LineAddr>,
+    lru: u64,
+    valid: bool,
+}
+
+/// The pair-wise correlating (Markov) prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use stms_prefetch::{MarkovConfig, MarkovPrefetcher};
+/// use stms_mem::{DramModel, Prefetcher, SystemConfig};
+/// use stms_types::{CoreId, Cycle, LineAddr};
+///
+/// let mut markov = MarkovPrefetcher::new(MarkovConfig { cores: 1, ..Default::default() });
+/// let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
+/// let core = CoreId::new(0);
+/// for l in [1u64, 2, 1, 2] {
+///     markov.record(core, LineAddr::new(l), false, Cycle::ZERO, &mut dram);
+/// }
+/// let chunk = markov.on_trigger(core, LineAddr::new(1), Cycle::ZERO, &mut dram).unwrap();
+/// assert_eq!(chunk.addresses, vec![LineAddr::new(2)]);
+/// ```
+#[derive(Debug)]
+pub struct MarkovPrefetcher {
+    cfg: MarkovConfig,
+    sets: Vec<Vec<Entry>>,
+    last_miss: Vec<Option<LineAddr>>,
+    clock: u64,
+}
+
+impl MarkovPrefetcher {
+    /// Creates a Markov prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `associativity` or the
+    /// resulting set count is not a power of two.
+    pub fn new(cfg: MarkovConfig) -> Self {
+        assert!(cfg.associativity > 0 && cfg.entries % cfg.associativity == 0);
+        let sets = cfg.entries / cfg.associativity;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        MarkovPrefetcher {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            last_miss: vec![None; cfg.cores],
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() % self.sets.len() as u64) as usize
+    }
+
+    fn learn(&mut self, predecessor: LineAddr, successor: LineAddr) {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.cfg.associativity;
+        let max_succ = self.cfg.successors;
+        let set_idx = self.set_of(predecessor);
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|e| e.valid && e.tag == predecessor) {
+            entry.lru = clock;
+            // Most-recent successor first; keep the list deduplicated.
+            entry.successors.retain(|&s| s != successor);
+            entry.successors.insert(0, successor);
+            entry.successors.truncate(max_succ);
+            return;
+        }
+        let new_entry = Entry { tag: predecessor, successors: vec![successor], lru: clock, valid: true };
+        if set.len() < assoc {
+            set.push(new_entry);
+        } else {
+            let victim = set.iter_mut().min_by_key(|e| e.lru).expect("associativity > 0");
+            *victim = new_entry;
+        }
+    }
+
+    fn predict(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(line);
+        match self.sets[set_idx].iter_mut().find(|e| e.valid && e.tag == line) {
+            Some(entry) => {
+                entry.lru = clock;
+                entry.successors.clone()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of valid correlation entries currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().filter(|e| e.valid).count()).sum()
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn on_trigger(
+        &mut self,
+        _core: CoreId,
+        line: LineAddr,
+        now: Cycle,
+        _dram: &mut DramModel,
+    ) -> Option<StreamChunk> {
+        let addresses = self.predict(line);
+        if addresses.is_empty() {
+            None
+        } else {
+            Some(StreamChunk { addresses, ready_at: now })
+        }
+    }
+
+    fn next_chunk(&mut self, _core: CoreId, now: Cycle, _dram: &mut DramModel) -> StreamChunk {
+        // Pair-wise correlation predicts only immediate successors; there is
+        // never a second chunk.
+        StreamChunk::empty(now)
+    }
+
+    fn record(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        _prefetched: bool,
+        _now: Cycle,
+        _dram: &mut DramModel,
+    ) {
+        if let Some(prev) = self.last_miss[core.index()] {
+            if prev != line {
+                self.learn(prev, line);
+            }
+        }
+        self.last_miss[core.index()] = Some(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stms_mem::SystemConfig;
+
+    fn dram() -> DramModel {
+        DramModel::new(SystemConfig::hpca09_baseline().dram)
+    }
+
+    fn small() -> MarkovPrefetcher {
+        MarkovPrefetcher::new(MarkovConfig { cores: 2, entries: 16, associativity: 2, successors: 2 })
+    }
+
+    fn record_seq(p: &mut MarkovPrefetcher, core: u16, lines: &[u64]) {
+        let mut d = dram();
+        for &l in lines {
+            p.record(CoreId::new(core), LineAddr::new(l), false, Cycle::ZERO, &mut d);
+        }
+    }
+
+    #[test]
+    fn learns_pairwise_successor() {
+        let mut p = small();
+        record_seq(&mut p, 0, &[10, 20, 30]);
+        let mut d = dram();
+        let c = p.on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses, vec![LineAddr::new(20)]);
+        let c = p.on_trigger(CoreId::new(0), LineAddr::new(20), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses, vec![LineAddr::new(30)]);
+        assert!(p.on_trigger(CoreId::new(0), LineAddr::new(30), Cycle::ZERO, &mut d).is_none());
+        assert!(p.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d).is_empty());
+    }
+
+    #[test]
+    fn multiple_successors_most_recent_first() {
+        let mut p = small();
+        record_seq(&mut p, 0, &[1, 2, 1, 3]);
+        let mut d = dram();
+        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses, vec![LineAddr::new(3), LineAddr::new(2)]);
+    }
+
+    #[test]
+    fn successor_list_is_bounded_and_deduplicated() {
+        let mut p = small();
+        record_seq(&mut p, 0, &[1, 2, 1, 3, 1, 4, 1, 2]);
+        let mut d = dram();
+        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses.len(), 2, "bounded to `successors`");
+        assert_eq!(c.addresses[0], LineAddr::new(2), "most recent first");
+    }
+
+    #[test]
+    fn per_core_training_is_separate() {
+        let mut p = small();
+        // Interleave two cores; correlations must not cross cores.
+        let mut d = dram();
+        for (core, line) in [(0u16, 1u64), (1, 100), (0, 2), (1, 200)] {
+            p.record(CoreId::new(core), LineAddr::new(line), false, Cycle::ZERO, &mut d);
+        }
+        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses, vec![LineAddr::new(2)]);
+        let c = p.on_trigger(CoreId::new(1), LineAddr::new(100), Cycle::ZERO, &mut d).unwrap();
+        assert_eq!(c.addresses, vec![LineAddr::new(200)]);
+    }
+
+    #[test]
+    fn table_capacity_is_bounded() {
+        let mut p = small();
+        record_seq(&mut p, 0, &(0..1000u64).collect::<Vec<_>>());
+        assert!(p.occupancy() <= 16);
+    }
+
+    #[test]
+    fn no_metadata_traffic_for_on_chip_table() {
+        let mut p = small();
+        let mut d = dram();
+        p.record(CoreId::new(0), LineAddr::new(1), false, Cycle::ZERO, &mut d);
+        p.record(CoreId::new(0), LineAddr::new(2), false, Cycle::ZERO, &mut d);
+        let _ = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d);
+        assert_eq!(d.traffic().total(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = MarkovPrefetcher::new(MarkovConfig { cores: 1, entries: 10, associativity: 3, successors: 1 });
+    }
+}

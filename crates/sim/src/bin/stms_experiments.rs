@@ -1,0 +1,119 @@
+//! Command-line driver that regenerates every table and figure of the paper.
+//!
+//! ```text
+//! stms-experiments [--quick] [--accesses N] [--csv DIR] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment arguments every figure/table is produced. Individual
+//! experiments are selected by id: `table1`, `table2`, `fig1-left`,
+//! `fig1-right`, `fig4`, `fig5-left`, `fig5-right`, `fig6-left`, `fig6-right`,
+//! `fig7`, `fig8`, `fig9`.
+
+use std::io::Write as _;
+use stms_sim::experiments::{self, FigureResult};
+use stms_sim::ExperimentConfig;
+
+const ALL_IDS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1-left",
+    "fig1-right",
+    "fig4",
+    "fig5-left",
+    "fig5-right",
+    "fig6-left",
+    "fig6-right",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation-index",
+];
+
+fn run_one(id: &str, cfg: &ExperimentConfig) -> Option<FigureResult> {
+    let result = match id {
+        "table1" => experiments::table1_system(cfg),
+        "table2" => experiments::table2_mlp(cfg),
+        "fig1-left" => experiments::fig1_left_entries_sweep(cfg),
+        "fig1-right" => experiments::fig1_right_published_overheads(),
+        "fig4" => experiments::fig4_potential(cfg),
+        "fig5-left" => experiments::fig5_history_sweep(cfg),
+        "fig5-right" => experiments::fig5_index_sweep(cfg),
+        "fig6-left" => experiments::fig6_left_stream_length_cdf(cfg),
+        "fig6-right" => experiments::fig6_right_depth_loss(cfg),
+        "fig7" => experiments::fig7_traffic_breakdown(cfg),
+        "fig8" => experiments::fig8_sampling_sweep(cfg),
+        "fig9" => experiments::fig9_final_comparison(cfg),
+        "ablation-index" => {
+            let ablation = stms_sim::ablation::index_organization_ablation(
+                cfg,
+                &stms_workloads::presets::oltp_db2(),
+            );
+            FigureResult {
+                id: "ablation-index".into(),
+                table: ablation.table(),
+                notes: "the bucketized table resolves every lookup with one memory block; the \
+                        alternatives either probe/chain across several blocks or spend more storage"
+                    .into(),
+            }
+        }
+        _ => return None,
+    };
+    Some(result)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExperimentConfig::scaled();
+    let mut csv_dir: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--accesses" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--accesses requires a number");
+                cfg = cfg.with_accesses(n);
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).expect("--csv requires a directory").clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: stms-experiments [--quick] [--accesses N] [--csv DIR] [EXPERIMENT ...]\n\
+                     experiments: {}",
+                    ALL_IDS.join(", ")
+                );
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+
+    for id in &selected {
+        let Some(result) = run_one(id, &cfg) else {
+            eprintln!("unknown experiment `{id}` (known: {})", ALL_IDS.join(", "));
+            std::process::exit(2);
+        };
+        println!("{}", result.render());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{}.csv", result.id);
+            let mut file = std::fs::File::create(&path).expect("create csv file");
+            file.write_all(result.table.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

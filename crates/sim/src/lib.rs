@@ -1,0 +1,39 @@
+//! Experiment driver for the STMS reproduction.
+//!
+//! This crate glues the workspace together: it generates the synthetic
+//! workloads (`stms-workloads`), runs them through the CMP simulator
+//! (`stms-mem`) with each prefetcher under study (`stms-prefetch`,
+//! `stms-core`), and renders the paper's tables and figures
+//! (`stms-stats`).
+//!
+//! * [`ExperimentConfig`] — the scaled system model and trace lengths;
+//! * [`runner`] — running (workload × prefetcher) combinations, in parallel;
+//! * [`experiments`] — one function per table/figure of the paper (§5);
+//! * the `stms-experiments` binary — command-line front end.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stms_sim::{experiments, ExperimentConfig};
+//!
+//! // Regenerate Figure 4 (idealized prefetching potential) at full scale.
+//! let cfg = ExperimentConfig::scaled();
+//! let fig4 = experiments::fig4_potential(&cfg);
+//! println!("{}", fig4.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod runner;
+pub mod system;
+
+pub use ablation::{index_organization_ablation, IndexAblation, IndexAblationRow};
+pub use experiments::FigureResult;
+pub use runner::{
+    build_trace, collect_miss_sequences, run_matched, run_suite, run_trace, run_workload,
+    PrefetcherKind,
+};
+pub use system::{ExperimentConfig, CAPACITY_SCALE};

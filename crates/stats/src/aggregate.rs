@@ -1,0 +1,151 @@
+//! Aggregate statistics: means, geometric means and matched-pair confidence
+//! intervals (the SimFlex-style sampling methodology of §5.1).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of strictly positive values (0 if any value is
+/// non-positive or the slice is empty). The paper reports the meta-data
+/// traffic reduction as a geometric mean across workloads.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A matched-pair comparison between a baseline and an experimental
+/// configuration measured on the same sample points (the paper's
+/// matched-pair sample comparison of performance changes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatchedPair {
+    /// Mean of the per-pair differences (experiment − baseline).
+    pub mean_diff: f64,
+    /// Half-width of the 95% confidence interval of the mean difference.
+    pub ci95_half_width: f64,
+    /// Number of pairs.
+    pub pairs: usize,
+}
+
+impl MatchedPair {
+    /// Computes a matched-pair comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compare(baseline: &[f64], experiment: &[f64]) -> Self {
+        assert_eq!(baseline.len(), experiment.len(), "matched pairs need equal-length samples");
+        let diffs: Vec<f64> = experiment.iter().zip(baseline).map(|(e, b)| e - b).collect();
+        let m = mean(&diffs);
+        let sd = std_dev(&diffs);
+        let n = diffs.len();
+        let half = if n > 1 { 1.96 * sd / (n as f64).sqrt() } else { 0.0 };
+        MatchedPair { mean_diff: m, ci95_half_width: half, pairs: n }
+    }
+
+    /// Whether the difference is statistically significant at 95%.
+    pub fn significant(&self) -> bool {
+        self.pairs > 1 && self.mean_diff.abs() > self.ci95_half_width
+    }
+}
+
+/// Splits a series of per-interval measurements into `batches` batch means
+/// (simple batch-means sampling).
+pub fn batch_means(values: &[f64], batches: usize) -> Vec<f64> {
+    if values.is_empty() || batches == 0 {
+        return Vec::new();
+    }
+    let batch_size = values.len().div_ceil(batches);
+    values.chunks(batch_size).map(mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[2.0, -1.0]), 0.0);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matched_pair_detects_consistent_improvement() {
+        let base = vec![1.0, 1.1, 0.9, 1.0, 1.05];
+        let exp: Vec<f64> = base.iter().map(|v| v + 0.5).collect();
+        let mp = MatchedPair::compare(&base, &exp);
+        assert!((mp.mean_diff - 0.5).abs() < 1e-9);
+        assert!(mp.significant());
+    }
+
+    #[test]
+    fn matched_pair_noise_is_not_significant() {
+        let base = vec![1.0, 2.0, 3.0, 4.0];
+        let exp = vec![2.0, 1.0, 4.0, 3.0];
+        let mp = MatchedPair::compare(&base, &exp);
+        assert!((mp.mean_diff - 0.0).abs() < 1e-9);
+        assert!(!mp.significant());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn matched_pair_length_mismatch_panics() {
+        let _ = MatchedPair::compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_means_splits_evenly() {
+        let values: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let batches = batch_means(&values, 5);
+        assert_eq!(batches, vec![1.5, 3.5, 5.5, 7.5, 9.5]);
+        assert!(batch_means(&[], 3).is_empty());
+        assert!(batch_means(&values, 0).is_empty());
+    }
+
+    proptest! {
+        /// The geometric mean lies between the min and max of positive values.
+        #[test]
+        fn prop_gmean_bounded(values in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+            let g = geometric_mean(&values);
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        }
+
+        /// Matched-pair mean difference equals difference of means.
+        #[test]
+        fn prop_matched_pair_mean(base in proptest::collection::vec(-10.0f64..10.0, 2..40), delta in -5.0f64..5.0) {
+            let exp: Vec<f64> = base.iter().map(|v| v + delta).collect();
+            let mp = MatchedPair::compare(&base, &exp);
+            prop_assert!((mp.mean_diff - delta).abs() < 1e-9);
+        }
+    }
+}

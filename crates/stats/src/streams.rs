@@ -1,0 +1,184 @@
+//! Offline temporal-stream analysis of a miss-address sequence.
+//!
+//! Given the off-chip read-miss sequence of one core (captured with
+//! `stms_prefetch::MissTraceCollector`), this module identifies the temporal
+//! streams an idealized predictor would follow: whenever a miss address
+//! recurs, the analyzer walks forward comparing the current miss sequence
+//! with the sequence that followed the previous occurrence, and the length of
+//! the matching run is the temporal-stream length. This is the analysis
+//! behind Figure 6 (left), the cumulative distribution of streamed blocks
+//! versus temporal-stream length.
+
+use crate::cdf::Cdf;
+use std::collections::HashMap;
+use stms_types::LineAddr;
+
+/// Result of analyzing one miss sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamAnalysis {
+    /// Length (in blocks) of every temporal stream followed, in occurrence
+    /// order. A "stream" is a maximal run of misses that repeats a previously
+    /// observed miss sequence; its length counts the repeated successor
+    /// blocks (the trigger itself is not counted).
+    pub run_lengths: Vec<u64>,
+    /// Total number of misses analyzed.
+    pub total_misses: u64,
+}
+
+impl StreamAnalysis {
+    /// Number of misses that were part of some repeated stream (the blocks an
+    /// idealized temporal prefetcher could cover).
+    pub fn streamed_blocks(&self) -> u64 {
+        self.run_lengths.iter().sum()
+    }
+
+    /// Upper bound on temporal-streaming coverage implied by the analysis.
+    pub fn max_coverage(&self) -> f64 {
+        if self.total_misses == 0 {
+            0.0
+        } else {
+            self.streamed_blocks() as f64 / self.total_misses as f64
+        }
+    }
+
+    /// The weighted CDF of streamed blocks by stream length (Figure 6,
+    /// left): each stream of length `L` contributes `L` blocks at length `L`.
+    pub fn blocks_by_length_cdf(&self) -> Cdf {
+        Cdf::from_weighted(self.run_lengths.iter().map(|&l| (l, l as f64)))
+    }
+
+    /// Merges another analysis (e.g. from another core) into this one.
+    pub fn merge(&mut self, other: &StreamAnalysis) {
+        self.run_lengths.extend_from_slice(&other.run_lengths);
+        self.total_misses += other.total_misses;
+    }
+}
+
+/// Analyzes the temporal streams in one core's miss sequence.
+///
+/// # Example
+///
+/// ```
+/// use stms_stats::analyze_streams;
+/// use stms_types::LineAddr;
+///
+/// // The sequence A B C D recurs once: one stream of length 3 (B C D).
+/// let misses: Vec<LineAddr> = [1u64, 2, 3, 4, 9, 1, 2, 3, 4]
+///     .into_iter().map(LineAddr::new).collect();
+/// let analysis = analyze_streams(&misses);
+/// assert_eq!(analysis.run_lengths, vec![3]);
+/// ```
+pub fn analyze_streams(misses: &[LineAddr]) -> StreamAnalysis {
+    let mut last_occurrence: HashMap<LineAddr, usize> = HashMap::new();
+    let mut run_lengths = Vec::new();
+    let mut i = 0usize;
+    while i < misses.len() {
+        let line = misses[i];
+        let prior = last_occurrence.get(&line).copied();
+        last_occurrence.insert(line, i);
+        if let Some(j) = prior {
+            // A recurrence: walk forward while the history repeats.
+            let mut len = 0u64;
+            let mut src = j + 1;
+            let mut cur = i + 1;
+            while cur < misses.len() && src < i && misses[cur] == misses[src] {
+                last_occurrence.insert(misses[cur], cur);
+                len += 1;
+                src += 1;
+                cur += 1;
+            }
+            if len > 0 {
+                run_lengths.push(len);
+                i = cur;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    StreamAnalysis { run_lengths, total_misses: misses.len() as u64 }
+}
+
+/// Analyzes and merges the miss sequences of several cores.
+pub fn analyze_streams_multi(per_core: &[Vec<LineAddr>]) -> StreamAnalysis {
+    let mut total = StreamAnalysis::default();
+    for seq in per_core {
+        total.merge(&analyze_streams(seq));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[u64]) -> Vec<LineAddr> {
+        v.iter().copied().map(LineAddr::new).collect()
+    }
+
+    #[test]
+    fn no_repetition_means_no_streams() {
+        let a = analyze_streams(&lines(&[1, 2, 3, 4, 5]));
+        assert!(a.run_lengths.is_empty());
+        assert_eq!(a.streamed_blocks(), 0);
+        assert_eq!(a.max_coverage(), 0.0);
+        assert_eq!(a.total_misses, 5);
+    }
+
+    #[test]
+    fn single_recurrence_counts_successor_blocks() {
+        let a = analyze_streams(&lines(&[1, 2, 3, 4, 9, 1, 2, 3, 4]));
+        assert_eq!(a.run_lengths, vec![3]);
+        assert_eq!(a.streamed_blocks(), 3);
+        assert!((a.max_coverage() - 3.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diverging_recurrence_ends_the_run() {
+        // Second occurrence diverges after B.
+        let a = analyze_streams(&lines(&[1, 2, 3, 4, 1, 2, 99, 98]));
+        assert_eq!(a.run_lengths, vec![1]);
+    }
+
+    #[test]
+    fn repeated_iterations_produce_long_runs() {
+        // Three iterations over the same 4 blocks: two full-length streams.
+        let seq = [10u64, 11, 12, 13, 10, 11, 12, 13, 10, 11, 12, 13];
+        let a = analyze_streams(&lines(&seq));
+        assert_eq!(a.run_lengths, vec![3, 3]);
+        assert!((a.max_coverage() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_recent_occurrence_is_used() {
+        // A appears with successors (2,3) then (7,8); the third occurrence
+        // matches the most recent successors.
+        let a = analyze_streams(&lines(&[1, 2, 3, 1, 7, 8, 1, 7, 8]));
+        assert!(a.run_lengths.contains(&2), "run lengths {:?}", a.run_lengths);
+    }
+
+    #[test]
+    fn cdf_weights_blocks_by_stream_length() {
+        let analysis = StreamAnalysis { run_lengths: vec![2, 100], total_misses: 200 };
+        let cdf = analysis.blocks_by_length_cdf();
+        assert!((cdf.fraction_at_or_below(2) - 2.0 / 102.0).abs() < 1e-9);
+        assert_eq!(cdf.fraction_at_or_below(100), 1.0);
+    }
+
+    #[test]
+    fn multi_core_merge() {
+        let per_core = vec![
+            lines(&[1, 2, 3, 1, 2, 3]),
+            lines(&[7, 8, 9, 10]),
+        ];
+        let a = analyze_streams_multi(&per_core);
+        assert_eq!(a.total_misses, 10);
+        assert_eq!(a.run_lengths, vec![2]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let a = analyze_streams(&[]);
+        assert_eq!(a.total_misses, 0);
+        assert_eq!(a.max_coverage(), 0.0);
+    }
+}

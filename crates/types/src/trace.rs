@@ -1,0 +1,318 @@
+//! Trace containers and a compact binary trace encoding.
+//!
+//! The workload generators produce [`Trace`] values; the simulator replays
+//! them. Traces can be serialized with serde (any format) or with the compact
+//! fixed-width binary encoding provided by [`Trace::encode`] /
+//! [`Trace::decode`], which is convenient for caching generated workloads on
+//! disk between experiment runs.
+
+use crate::{AccessKind, CoreId, LineAddr, MemAccess};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Metadata describing how a trace was produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable workload name (e.g. `"OLTP Oracle"`).
+    pub workload: String,
+    /// Number of cores whose accesses are interleaved in the trace.
+    pub cores: usize,
+    /// Seed of the generator that produced the trace.
+    pub seed: u64,
+    /// Approximate number of distinct cache lines touched (data footprint).
+    pub footprint_lines: u64,
+}
+
+/// A sequence of memory accesses from all cores, in program-interleaved
+/// order, together with its metadata.
+///
+/// # Example
+///
+/// ```
+/// use stms_types::{CoreId, LineAddr, MemAccess, Trace, TraceMeta};
+/// let mut trace = Trace::new(TraceMeta { workload: "demo".into(), cores: 1, ..Default::default() });
+/// trace.push(MemAccess::read(CoreId::new(0), LineAddr::new(1)));
+/// trace.push(MemAccess::read(CoreId::new(0), LineAddr::new(2)));
+/// assert_eq!(trace.len(), 2);
+/// let bytes = trace.encode();
+/// let back = Trace::decode(&bytes).unwrap();
+/// assert_eq!(back, trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    accesses: Vec<MemAccess>,
+}
+
+/// Error returned when decoding a binary trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeTraceError {
+    what: &'static str,
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed binary trace: {}", self.what)
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+const TRACE_MAGIC: u32 = 0x53_54_4d_53; // "STMS"
+
+impl Trace {
+    /// Creates an empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> Self {
+        Trace { meta, accesses: Vec::new() }
+    }
+
+    /// Creates a trace from already-collected accesses.
+    pub fn from_accesses(meta: TraceMeta, accesses: Vec<MemAccess>) -> Self {
+        Trace { meta, accesses }
+    }
+
+    /// Returns the trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Appends one access.
+    pub fn push(&mut self, access: MemAccess) {
+        self.accesses.push(access);
+    }
+
+    /// Number of accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace contains no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Returns the accesses as a slice.
+    pub fn accesses(&self) -> &[MemAccess] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemAccess> {
+        self.accesses.iter()
+    }
+
+    /// Returns the accesses issued by one core, preserving order.
+    pub fn per_core(&self, core: CoreId) -> Vec<MemAccess> {
+        self.accesses.iter().copied().filter(|a| a.core == core).collect()
+    }
+
+    /// Total number of instructions represented by the trace (memory accesses
+    /// plus compute gaps), used as the numerator of the throughput metric.
+    pub fn instruction_count(&self) -> u64 {
+        self.accesses.len() as u64
+            + self.accesses.iter().map(|a| a.compute_gap as u64).sum::<u64>()
+    }
+
+    /// Encodes the trace into a compact binary representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.meta.workload.len() + self.accesses.len() * 16);
+        buf.put_u32(TRACE_MAGIC);
+        buf.put_u16(self.meta.workload.len() as u16);
+        buf.put_slice(self.meta.workload.as_bytes());
+        buf.put_u16(self.meta.cores as u16);
+        buf.put_u64(self.meta.seed);
+        buf.put_u64(self.meta.footprint_lines);
+        buf.put_u64(self.accesses.len() as u64);
+        for a in &self.accesses {
+            buf.put_u16(a.core.index() as u16);
+            buf.put_u64(a.line.raw());
+            let kind = match a.kind {
+                AccessKind::Read => 0u8,
+                AccessKind::Write => 1,
+                AccessKind::InstrFetch => 2,
+            };
+            let flags = kind | if a.dependent { 0x80 } else { 0 };
+            buf.put_u8(flags);
+            buf.put_u32(a.compute_gap);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a trace previously produced by [`Trace::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeTraceError`] if the buffer is truncated, has a wrong
+    /// magic number, or contains an invalid access kind.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeTraceError> {
+        fn need(data: &[u8], n: usize, what: &'static str) -> Result<(), DecodeTraceError> {
+            if data.remaining() < n {
+                Err(DecodeTraceError { what })
+            } else {
+                Ok(())
+            }
+        }
+        need(data, 4, "missing magic")?;
+        if data.get_u32() != TRACE_MAGIC {
+            return Err(DecodeTraceError { what: "bad magic" });
+        }
+        need(data, 2, "missing name length")?;
+        let name_len = data.get_u16() as usize;
+        need(data, name_len, "truncated name")?;
+        let workload = String::from_utf8(data[..name_len].to_vec())
+            .map_err(|_| DecodeTraceError { what: "name not utf-8" })?;
+        data.advance(name_len);
+        need(data, 2 + 8 + 8 + 8, "truncated header")?;
+        let cores = data.get_u16() as usize;
+        let seed = data.get_u64();
+        let footprint_lines = data.get_u64();
+        let count = data.get_u64() as usize;
+        let mut accesses = Vec::with_capacity(count);
+        for _ in 0..count {
+            need(data, 2 + 8 + 1 + 4, "truncated access")?;
+            let core = CoreId::new(data.get_u16());
+            let line = LineAddr::new(data.get_u64());
+            let flags = data.get_u8();
+            let kind = match flags & 0x7f {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                2 => AccessKind::InstrFetch,
+                _ => return Err(DecodeTraceError { what: "invalid access kind" }),
+            };
+            let compute_gap = data.get_u32();
+            accesses.push(MemAccess {
+                core,
+                line,
+                kind,
+                compute_gap,
+                dependent: flags & 0x80 != 0,
+            });
+        }
+        Ok(Trace {
+            meta: TraceMeta { workload, cores, seed, footprint_lines },
+            accesses,
+        })
+    }
+}
+
+impl Extend<MemAccess> for Trace {
+    fn extend<T: IntoIterator<Item = MemAccess>>(&mut self, iter: T) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemAccess;
+    type IntoIter = std::slice::Iter<'a, MemAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemAccess;
+    type IntoIter = std::vec::IntoIter<MemAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        let meta = TraceMeta {
+            workload: "unit".into(),
+            cores: 2,
+            seed: 7,
+            footprint_lines: 128,
+        };
+        let mut t = Trace::new(meta);
+        t.push(MemAccess::read(CoreId::new(0), LineAddr::new(10)).with_gap(3));
+        t.push(MemAccess::write(CoreId::new(1), LineAddr::new(20)).with_dependence(true));
+        t.push(
+            MemAccess::read(CoreId::new(0), LineAddr::new(11))
+                .with_kind(AccessKind::InstrFetch)
+                .with_gap(1),
+        );
+        t
+    }
+
+    #[test]
+    fn push_len_iter() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!((&t).into_iter().count(), 3);
+        assert_eq!(t.clone().into_iter().count(), 3);
+    }
+
+    #[test]
+    fn per_core_filters() {
+        let t = sample_trace();
+        assert_eq!(t.per_core(CoreId::new(0)).len(), 2);
+        assert_eq!(t.per_core(CoreId::new(1)).len(), 1);
+        assert_eq!(t.per_core(CoreId::new(2)).len(), 0);
+    }
+
+    #[test]
+    fn instruction_count_includes_gaps() {
+        let t = sample_trace();
+        assert_eq!(t.instruction_count(), 3 + 3 + 0 + 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = sample_trace();
+        let bytes = t.encode();
+        let back = Trace::decode(&bytes).expect("decode");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Trace::decode(&[]).is_err());
+        assert!(Trace::decode(&[1, 2, 3]).is_err());
+        let mut bytes = sample_trace().encode().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Trace::decode(&bytes).is_err());
+        // Corrupt the magic.
+        let mut bad = sample_trace().encode().to_vec();
+        bad[0] ^= 0xff;
+        assert!(Trace::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.extend(vec![MemAccess::read(CoreId::new(0), LineAddr::new(1))]);
+        assert_eq!(t.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(
+            lines in proptest::collection::vec(0u64..1 << 40, 0..200),
+            seed in any::<u64>(),
+        ) {
+            let meta = TraceMeta { workload: "prop".into(), cores: 4, seed, footprint_lines: 1000 };
+            let mut t = Trace::new(meta);
+            for (i, l) in lines.iter().enumerate() {
+                let core = CoreId::new((i % 4) as u16);
+                let acc = if i % 3 == 0 {
+                    MemAccess::write(core, LineAddr::new(*l))
+                } else {
+                    MemAccess::read(core, LineAddr::new(*l)).with_dependence(i % 5 == 0)
+                };
+                t.push(acc.with_gap((i % 17) as u32));
+            }
+            let bytes = t.encode();
+            let back = Trace::decode(&bytes).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

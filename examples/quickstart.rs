@@ -1,0 +1,63 @@
+//! Quickstart: simulate one workload with and without STMS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a synthetic OLTP-like trace, replays it through the scaled
+//! 4-core CMP model three times (baseline stride-only system, idealized
+//! on-chip temporal streaming, and practical STMS with off-chip meta-data),
+//! and prints coverage, speedup and traffic for each.
+
+use stms::core::{Stms, StmsConfig};
+use stms::mem::{CmpSimulator, NullPrefetcher, SimResult};
+use stms::prefetch::{IdealTms, IdealTmsConfig};
+use stms::sim::ExperimentConfig;
+use stms::workloads::{generate, presets};
+
+fn report(label: &str, result: &SimResult, baseline: &SimResult) {
+    println!(
+        "{label:<12} coverage {:5.1}%   speedup {:+6.1}%   off-chip reads {:>7}   overhead bytes/useful byte {:.2}",
+        result.coverage() * 100.0,
+        result.speedup_over(baseline) * 100.0,
+        result.uncovered_misses,
+        result.overhead_per_useful_byte(),
+    );
+}
+
+fn main() {
+    // 1. Pick a workload model and generate its access trace.
+    let spec = presets::oltp_db2();
+    println!("generating {} trace ({} accesses over {} cores)...", spec.name, spec.accesses, spec.cores);
+    let trace = generate(&spec);
+
+    // 2. The scaled system model (paper Table 1, capacities scaled to the
+    //    synthetic footprints).
+    let cfg = ExperimentConfig::scaled();
+
+    // 3. Baseline: stride prefetcher only.
+    let baseline =
+        CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut NullPrefetcher::new());
+
+    // 4. Idealized temporal memory streaming (magic on-chip meta-data).
+    let mut ideal = IdealTms::new(IdealTmsConfig { cores: cfg.system.cores, ..Default::default() });
+    let ideal_result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut ideal);
+
+    // 5. Practical STMS: off-chip meta-data, hash-based lookup, 12.5% update
+    //    sampling.
+    let mut stms = Stms::new(StmsConfig { cores: cfg.system.cores, ..StmsConfig::scaled_default() });
+    let stms_result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut stms);
+
+    println!("\nresults for {} (baseline IPC {:.2}):", spec.name, baseline.ipc());
+    report("baseline", &baseline, &baseline);
+    report("ideal TMS", &ideal_result, &baseline);
+    report("STMS", &stms_result, &baseline);
+
+    println!(
+        "\nSTMS reached {:.0}% of the idealized coverage with {} KB of on-chip state per core \
+         and {} MB of main-memory meta-data.",
+        100.0 * stms_result.coverage() / ideal_result.coverage().max(1e-9),
+        stms.config().on_chip_bytes_per_core() / 1024,
+        stms.config().metadata_bytes() / (1024 * 1024),
+    );
+}
