@@ -5,7 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use stms_bench::{bench_trace, chase_trace};
 use stms_core::{Stms, StmsConfig};
-use stms_mem::{CacheConfig, CmpSimulator, NullPrefetcher, SetAssocCache, SimOptions, SystemConfig};
+use stms_mem::{
+    CacheConfig, CmpSimulator, NullPrefetcher, SetAssocCache, SimOptions, SystemConfig,
+};
 use stms_types::LineAddr;
 
 fn bench_cache(c: &mut Criterion) {
@@ -56,7 +58,10 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("stms_full_system", |b| {
         let cfg = stms_bench::bench_config();
         b.iter(|| {
-            let mut stms = Stms::new(StmsConfig { cores: cfg.system.cores, ..StmsConfig::scaled_default() });
+            let mut stms = Stms::new(StmsConfig {
+                cores: cfg.system.cores,
+                ..StmsConfig::scaled_default()
+            });
             let result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut stms);
             black_box(result.coverage())
         });

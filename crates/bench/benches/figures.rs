@@ -29,13 +29,25 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("fig1_right_published_overheads", |b| {
-        b.iter(|| black_box(experiments::fig1_right_published_overheads().table.row_count()))
+        b.iter(|| {
+            black_box(
+                experiments::fig1_right_published_overheads()
+                    .table
+                    .row_count(),
+            )
+        })
     });
     group.bench_function("fig4_potential", |b| {
         b.iter(|| black_box(experiments::fig4_potential(&cfg).table.row_count()))
     });
     group.bench_function("fig6_left_stream_length_cdf", |b| {
-        b.iter(|| black_box(experiments::fig6_left_stream_length_cdf(&cfg).table.row_count()))
+        b.iter(|| {
+            black_box(
+                experiments::fig6_left_stream_length_cdf(&cfg)
+                    .table
+                    .row_count(),
+            )
+        })
     });
     group.bench_function("fig7_traffic_breakdown", |b| {
         b.iter(|| black_box(experiments::fig7_traffic_breakdown(&cfg).table.row_count()))

@@ -26,7 +26,10 @@ fn bench_hash_index(c: &mut Criterion) {
                         let line = LineAddr::new(i * 37);
                         index.update(
                             line,
-                            HistoryPointer { core: CoreId::new(0), position: i },
+                            HistoryPointer {
+                                core: CoreId::new(0),
+                                position: i,
+                            },
                             Cycle::new(i),
                             &mut dram,
                         );
@@ -34,7 +37,11 @@ fn bench_hash_index(c: &mut Criterion) {
                     let mut found = 0u32;
                     for i in 0..2_000u64 {
                         let line = LineAddr::new(i * 37);
-                        if index.lookup(line, Cycle::new(10_000 + i), &mut dram).0.is_some() {
+                        if index
+                            .lookup(line, Cycle::new(10_000 + i), &mut dram)
+                            .0
+                            .is_some()
+                        {
                             found += 1;
                         }
                     }

@@ -56,7 +56,11 @@ pub fn chase_trace(lines: u64) -> Trace {
     });
     for i in 0..lines {
         let line = LineAddr::new((i.wrapping_mul(0x9E37_79B9)) % lines + 1_000_000);
-        trace.push(MemAccess::read(CoreId::new(0), line).with_gap(2).with_dependence(i % 3 == 0));
+        trace.push(
+            MemAccess::read(CoreId::new(0), line)
+                .with_gap(2)
+                .with_dependence(i % 3 == 0),
+        );
     }
     trace
 }

@@ -138,7 +138,11 @@ mod tests {
         let cfg = StmsConfig::paper_default();
         assert_eq!(cfg.entries_per_bucket, 12);
         assert_eq!(cfg.entries_per_history_block, 12);
-        assert_eq!(cfg.bucket_buffer_blocks * 64, 8 * 1024, "8 KB bucket buffer");
+        assert_eq!(
+            cfg.bucket_buffer_blocks * 64,
+            8 * 1024,
+            "8 KB bucket buffer"
+        );
         assert!((cfg.sampling_probability - 0.125).abs() < 1e-12);
         // 64 MB of meta-data: 32 MB history + 16 MB index.
         assert_eq!(cfg.metadata_bytes(), 32 * 1024 * 1024 + 16 * 1024 * 1024);
@@ -166,22 +170,44 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(StmsConfig { cores: 0, ..StmsConfig::scaled_default() }.validate().is_err());
-        assert!(StmsConfig { sampling_probability: 1.5, ..StmsConfig::scaled_default() }
-            .validate()
-            .is_err());
-        assert!(StmsConfig { index_buckets: 0, ..StmsConfig::scaled_default() }.validate().is_err());
-        assert!(StmsConfig { history_entries_per_core: 0, ..StmsConfig::scaled_default() }
-            .validate()
-            .is_err());
-        assert!(StmsConfig { entries_per_bucket: 0, ..StmsConfig::scaled_default() }
-            .validate()
-            .is_err());
+        assert!(StmsConfig {
+            cores: 0,
+            ..StmsConfig::scaled_default()
+        }
+        .validate()
+        .is_err());
+        assert!(StmsConfig {
+            sampling_probability: 1.5,
+            ..StmsConfig::scaled_default()
+        }
+        .validate()
+        .is_err());
+        assert!(StmsConfig {
+            index_buckets: 0,
+            ..StmsConfig::scaled_default()
+        }
+        .validate()
+        .is_err());
+        assert!(StmsConfig {
+            history_entries_per_core: 0,
+            ..StmsConfig::scaled_default()
+        }
+        .validate()
+        .is_err());
+        assert!(StmsConfig {
+            entries_per_bucket: 0,
+            ..StmsConfig::scaled_default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn on_chip_storage_is_small() {
         let cfg = StmsConfig::paper_default();
-        assert!(cfg.on_chip_bytes_per_core() < 4 * 1024, "per-core on-chip cost stays tiny");
+        assert!(
+            cfg.on_chip_bytes_per_core() < 4 * 1024,
+            "per-core on-chip cost stays tiny"
+        );
     }
 }

@@ -71,7 +71,9 @@ impl OffChipHistory {
     pub fn new(cores: usize, entries_per_core: usize, entries_per_block: usize) -> Self {
         assert!(cores > 0 && entries_per_core > 0 && entries_per_block > 0);
         OffChipHistory {
-            logs: (0..cores).map(|_| HistoryLog::new(entries_per_core)).collect(),
+            logs: (0..cores)
+                .map(|_| HistoryLog::new(entries_per_core))
+                .collect(),
             end_marks: vec![HashSet::new(); cores],
             pending_writes: vec![0; cores],
             entries_per_block,
@@ -151,7 +153,11 @@ impl OffChipHistory {
             }
             addresses.push(line);
         }
-        HistoryBlock { addresses, ready_at, hit_end_mark }
+        HistoryBlock {
+            addresses,
+            ready_at,
+            hit_end_mark,
+        }
     }
 
     /// Marks `pos` in `core`'s history as the end of a followed stream
@@ -226,7 +232,12 @@ mod tests {
         let block = h.read_block(CoreId::new(0), 2, Cycle::new(50), &mut d);
         assert_eq!(
             block.addresses,
-            vec![LineAddr::new(102), LineAddr::new(103), LineAddr::new(104), LineAddr::new(105)]
+            vec![
+                LineAddr::new(102),
+                LineAddr::new(103),
+                LineAddr::new(104),
+                LineAddr::new(105)
+            ]
         );
         assert!(block.ready_at >= Cycle::new(50 + 180));
         assert!(!block.hit_end_mark);
@@ -263,9 +274,18 @@ mod tests {
     fn per_core_positions_are_independent() {
         let mut d = dram();
         let mut h = OffChipHistory::new(2, 64, 4);
-        assert_eq!(h.append(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d), 0);
-        assert_eq!(h.append(CoreId::new(1), LineAddr::new(2), Cycle::ZERO, &mut d), 0);
-        assert_eq!(h.append(CoreId::new(0), LineAddr::new(3), Cycle::ZERO, &mut d), 1);
+        assert_eq!(
+            h.append(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d),
+            0
+        );
+        assert_eq!(
+            h.append(CoreId::new(1), LineAddr::new(2), Cycle::ZERO, &mut d),
+            0
+        );
+        assert_eq!(
+            h.append(CoreId::new(0), LineAddr::new(3), Cycle::ZERO, &mut d),
+            1
+        );
         assert_eq!(h.next_position(CoreId::new(0)), 2);
         assert_eq!(h.next_position(CoreId::new(1)), 1);
         assert_eq!(h.cores(), 2);
@@ -279,7 +299,10 @@ mod tests {
             h.append(CoreId::new(0), LineAddr::new(i), Cycle::ZERO, &mut d);
         }
         let block = h.read_block(CoreId::new(0), 0, Cycle::ZERO, &mut d);
-        assert!(block.addresses.is_empty(), "position 0 has been overwritten");
+        assert!(
+            block.addresses.is_empty(),
+            "position 0 has been overwritten"
+        );
         let recent = h.read_block(CoreId::new(0), 16, Cycle::ZERO, &mut d);
         assert_eq!(recent.addresses[0], LineAddr::new(16));
     }

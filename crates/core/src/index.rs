@@ -230,7 +230,10 @@ mod tests {
     }
 
     fn ptr(core: u16, position: u64) -> HistoryPointer {
-        HistoryPointer { core: CoreId::new(core), position }
+        HistoryPointer {
+            core: CoreId::new(core),
+            position,
+        }
     }
 
     #[test]
@@ -275,8 +278,14 @@ mod tests {
         // 1 was older than 2? order after ops: [0 (MRU), 2, 1] -> inserting 99
         // drops 1.
         assert_eq!(idx.lookup(LineAddr::new(1), Cycle::ZERO, &mut d).0, None);
-        assert!(idx.lookup(LineAddr::new(0), Cycle::ZERO, &mut d).0.is_some());
-        assert!(idx.lookup(LineAddr::new(99), Cycle::ZERO, &mut d).0.is_some());
+        assert!(idx
+            .lookup(LineAddr::new(0), Cycle::ZERO, &mut d)
+            .0
+            .is_some());
+        assert!(idx
+            .lookup(LineAddr::new(99), Cycle::ZERO, &mut d)
+            .0
+            .is_some());
     }
 
     #[test]
@@ -300,7 +309,11 @@ mod tests {
         // The following update hits the buffered bucket: no additional read.
         idx.update(line, ptr(0, 3), Cycle::ZERO, &mut d);
         assert_eq!(d.traffic().meta_lookup, lookup_bytes);
-        assert_eq!(d.traffic().meta_update, update_bytes, "write-back is deferred");
+        assert_eq!(
+            d.traffic().meta_update,
+            update_bytes,
+            "write-back is deferred"
+        );
         assert_eq!(idx.stats().buffer_hits, 1);
         // Flush forces the dirty bucket out.
         idx.flush(Cycle::ZERO, &mut d);
@@ -343,7 +356,11 @@ mod tests {
         for i in 0..1000u64 {
             used.insert(idx.bucket_of(LineAddr::new(i * 64 + 7)));
         }
-        assert!(used.len() > 200, "hashing should spread addresses, got {} buckets", used.len());
+        assert!(
+            used.len() > 200,
+            "hashing should spread addresses, got {} buckets",
+            used.len()
+        );
     }
 
     #[test]

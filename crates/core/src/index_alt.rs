@@ -84,8 +84,13 @@ impl OpenAddressIndex {
     /// Panics if `slots` is zero.
     pub fn new(slots: usize) -> Self {
         assert!(slots > 0, "open-address index needs at least one slot");
-        let rounded = slots.div_ceil(OPEN_ADDRESS_ENTRIES_PER_BLOCK) * OPEN_ADDRESS_ENTRIES_PER_BLOCK;
-        OpenAddressIndex { slots: vec![None; rounded], occupied: 0, max_probe_blocks: 8 }
+        let rounded =
+            slots.div_ceil(OPEN_ADDRESS_ENTRIES_PER_BLOCK) * OPEN_ADDRESS_ENTRIES_PER_BLOCK;
+        OpenAddressIndex {
+            slots: vec![None; rounded],
+            occupied: 0,
+            max_probe_blocks: 8,
+        }
     }
 
     /// Number of slots.
@@ -135,7 +140,11 @@ impl OpenAddressIndex {
             }
             match &self.slots[idx] {
                 Some(s) if s.line == line => {
-                    return AltLookup { pointer: Some(s.pointer), ready_at, blocks_read };
+                    return AltLookup {
+                        pointer: Some(s.pointer),
+                        ready_at,
+                        blocks_read,
+                    };
                 }
                 // Linear probing invariant: an entry is never stored beyond
                 // the first empty slot of its probe path.
@@ -143,7 +152,11 @@ impl OpenAddressIndex {
                 _ => {}
             }
         }
-        AltLookup { pointer: None, ready_at, blocks_read }
+        AltLookup {
+            pointer: None,
+            ready_at,
+            blocks_read,
+        }
     }
 
     /// Inserts or refreshes `line -> pointer`, probing for the entry or a
@@ -215,7 +228,11 @@ impl ChainedIndex {
     /// Panics if either argument is zero.
     pub fn new(buckets: usize, entries_per_block: usize) -> Self {
         assert!(buckets > 0 && entries_per_block > 0);
-        ChainedIndex { chains: vec![Chain::default(); buckets], entries_per_block, entries: 0 }
+        ChainedIndex {
+            chains: vec![Chain::default(); buckets],
+            entries_per_block,
+            entries: 0,
+        }
     }
 
     /// Total entries stored.
@@ -254,10 +271,18 @@ impl ChainedIndex {
             let base = block * self.entries_per_block;
             let end = (base + self.entries_per_block).min(chain.entries.len());
             if let Some(slot) = chain.entries[base..end].iter().find(|s| s.line == line) {
-                return AltLookup { pointer: Some(slot.pointer), ready_at, blocks_read };
+                return AltLookup {
+                    pointer: Some(slot.pointer),
+                    ready_at,
+                    blocks_read,
+                };
             }
         }
-        AltLookup { pointer: None, ready_at, blocks_read }
+        AltLookup {
+            pointer: None,
+            ready_at,
+            blocks_read,
+        }
     }
 
     /// Inserts or refreshes `line -> pointer`; new entries append to the
@@ -302,7 +327,10 @@ mod tests {
     }
 
     fn ptr(position: u64) -> HistoryPointer {
-        HistoryPointer { core: CoreId::new(0), position }
+        HistoryPointer {
+            core: CoreId::new(0),
+            position,
+        }
     }
 
     #[test]
@@ -314,8 +342,14 @@ mod tests {
         idx.update(LineAddr::new(2), ptr(20), Cycle::ZERO, &mut d);
         idx.update(LineAddr::new(1), ptr(11), Cycle::ZERO, &mut d);
         assert_eq!(idx.len(), 2);
-        assert_eq!(idx.lookup(LineAddr::new(1), Cycle::ZERO, &mut d).pointer, Some(ptr(11)));
-        assert_eq!(idx.lookup(LineAddr::new(3), Cycle::ZERO, &mut d).pointer, None);
+        assert_eq!(
+            idx.lookup(LineAddr::new(1), Cycle::ZERO, &mut d).pointer,
+            Some(ptr(11))
+        );
+        assert_eq!(
+            idx.lookup(LineAddr::new(3), Cycle::ZERO, &mut d).pointer,
+            None
+        );
         assert!(idx.storage_bytes() >= 256 / 8 * 64);
     }
 
@@ -344,8 +378,14 @@ mod tests {
         let mut d = dram();
         let idx = OpenAddressIndex::new(64);
         let l = idx.lookup(LineAddr::new(5), Cycle::new(100), &mut d);
-        assert!(l.ready_at >= Cycle::new(280), "at least one memory round trip");
-        assert_eq!(l.blocks_read, 1, "an empty table stops at the first (empty) block");
+        assert!(
+            l.ready_at >= Cycle::new(280),
+            "at least one memory round trip"
+        );
+        assert_eq!(
+            l.blocks_read, 1,
+            "an empty table stops at the first (empty) block"
+        );
     }
 
     #[test]
@@ -358,7 +398,10 @@ mod tests {
         }
         assert_eq!(idx.len(), 32);
         for i in 0..32u64 {
-            assert_eq!(idx.lookup(LineAddr::new(i), Cycle::ZERO, &mut d).pointer, Some(ptr(i)));
+            assert_eq!(
+                idx.lookup(LineAddr::new(i), Cycle::ZERO, &mut d).pointer,
+                Some(ptr(i))
+            );
         }
         // 32 entries over 4 chains of 4-entry blocks -> chains of ~2 blocks.
         assert!(idx.longest_chain_blocks() >= 2);
@@ -366,7 +409,10 @@ mod tests {
         // Updating an existing entry does not grow the chain.
         idx.update(LineAddr::new(0), ptr(99), Cycle::ZERO, &mut d);
         assert_eq!(idx.len(), 32);
-        assert_eq!(idx.lookup(LineAddr::new(0), Cycle::ZERO, &mut d).pointer, Some(ptr(99)));
+        assert_eq!(
+            idx.lookup(LineAddr::new(0), Cycle::ZERO, &mut d).pointer,
+            Some(ptr(99))
+        );
     }
 
     #[test]
@@ -378,7 +424,11 @@ mod tests {
         }
         // The last-inserted entries live deep in the chain.
         let deep = idx.lookup(LineAddr::new(39), Cycle::ZERO, &mut d);
-        assert!(deep.blocks_read >= 5, "deep entries cost many block reads, got {}", deep.blocks_read);
+        assert!(
+            deep.blocks_read >= 5,
+            "deep entries cost many block reads, got {}",
+            deep.blocks_read
+        );
         let missing = idx.lookup(LineAddr::new(999), Cycle::ZERO, &mut d);
         assert_eq!(missing.pointer, None);
         assert_eq!(missing.blocks_read as usize, idx.longest_chain_blocks());

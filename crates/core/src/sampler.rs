@@ -41,7 +41,12 @@ impl UpdateSampler {
             (0.0..=1.0).contains(&probability),
             "sampling probability must be in [0,1], got {probability}"
         );
-        UpdateSampler { probability, state: seed | 1, draws: 0, accepted: 0 }
+        UpdateSampler {
+            probability,
+            state: seed | 1,
+            draws: 0,
+            accepted: 0,
+        }
     }
 
     /// The configured sampling probability.
@@ -112,7 +117,11 @@ mod tests {
         assert_eq!(none.accepted(), 0);
         assert_eq!(all.observed_rate(), 1.0);
         assert_eq!(none.observed_rate(), 0.0);
-        assert_eq!(UpdateSampler::new(0.5, 1).observed_rate(), 0.0, "no draws yet");
+        assert_eq!(
+            UpdateSampler::new(0.5, 1).observed_rate(),
+            0.0,
+            "no draws yet"
+        );
     }
 
     #[test]

@@ -149,7 +149,8 @@ impl Stms {
     fn close_stream(&mut self, core: CoreId) {
         if let Some(cursor) = self.cursors[core.index()].take() {
             if cursor.hits > 0 {
-                self.history.mark_stream_end(cursor.src_core, cursor.start_pos + cursor.hits);
+                self.history
+                    .mark_stream_end(cursor.src_core, cursor.start_pos + cursor.hits);
                 self.stats.end_marks += 1;
             }
         }
@@ -163,12 +164,17 @@ impl Stms {
         if cursor.exhausted {
             return StreamChunk::empty(now);
         }
-        let block = self.history.read_block(cursor.src_core, cursor.next_pos, now, dram);
+        let block = self
+            .history
+            .read_block(cursor.src_core, cursor.next_pos, now, dram);
         self.stats.history_blocks_read += 1;
         cursor.next_pos += block.addresses.len() as u64;
         cursor.exhausted = block.hit_end_mark || block.addresses.is_empty();
         self.cursors[core.index()] = Some(cursor);
-        StreamChunk { addresses: block.addresses, ready_at: block.ready_at }
+        StreamChunk {
+            addresses: block.addresses,
+            ready_at: block.ready_at,
+        }
     }
 }
 
@@ -197,7 +203,9 @@ impl Prefetcher for Stms {
         // Round trip 2: first history-buffer block, dependent on the index
         // read having completed.
         let start_pos = pointer.position + 1;
-        let block = self.history.read_block(pointer.core, start_pos, index_ready, dram);
+        let block = self
+            .history
+            .read_block(pointer.core, start_pos, index_ready, dram);
         self.stats.history_blocks_read += 1;
         if block.addresses.is_empty() {
             return None;
@@ -209,7 +217,10 @@ impl Prefetcher for Stms {
             hits: 0,
             exhausted: block.hit_end_mark,
         });
-        Some(StreamChunk { addresses: block.addresses, ready_at: block.ready_at })
+        Some(StreamChunk {
+            addresses: block.addresses,
+            ready_at: block.ready_at,
+        })
     }
 
     fn next_chunk(&mut self, core: CoreId, now: Cycle, dram: &mut DramModel) -> StreamChunk {
@@ -227,7 +238,8 @@ impl Prefetcher for Stms {
         self.stats.recorded += 1;
         let position = self.history.append(core, line, now, dram);
         if self.sampler.should_update() {
-            self.index.update(line, HistoryPointer { core, position }, now, dram);
+            self.index
+                .update(line, HistoryPointer { core, position }, now, dram);
             self.stats.updates_performed += 1;
         } else {
             self.stats.updates_skipped += 1;
@@ -269,7 +281,13 @@ mod tests {
 
     fn record_seq(stms: &mut Stms, core: u16, lines: &[u64], dram: &mut DramModel) {
         for &l in lines {
-            stms.record(CoreId::new(core), LineAddr::new(l), false, Cycle::ZERO, dram);
+            stms.record(
+                CoreId::new(core),
+                LineAddr::new(l),
+                false,
+                Cycle::ZERO,
+                dram,
+            );
         }
     }
 
@@ -278,7 +296,10 @@ mod tests {
         let mut d = dram();
         // Disable the bucket buffer so the index lookup cannot be satisfied
         // on chip: the two serialized memory round trips become visible.
-        let mut stms = Stms::new(StmsConfig { bucket_buffer_blocks: 0, ..small_cfg() });
+        let mut stms = Stms::new(StmsConfig {
+            bucket_buffer_blocks: 0,
+            ..small_cfg()
+        });
         record_seq(&mut stms, 0, &[10, 20, 30, 40, 50, 60], &mut d);
         let chunk = stms
             .on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d)
@@ -286,7 +307,12 @@ mod tests {
         // One block of 4 entries starting after the trigger.
         assert_eq!(
             chunk.addresses,
-            vec![LineAddr::new(20), LineAddr::new(30), LineAddr::new(40), LineAddr::new(50)]
+            vec![
+                LineAddr::new(20),
+                LineAddr::new(30),
+                LineAddr::new(40),
+                LineAddr::new(50)
+            ]
         );
         assert!(
             chunk.ready_at.raw() >= 2 * 180,
@@ -300,8 +326,15 @@ mod tests {
     fn next_chunk_continues_the_stream() {
         let mut d = dram();
         let mut stms = Stms::new(small_cfg());
-        record_seq(&mut stms, 0, &(0..20u64).map(|i| 100 + i).collect::<Vec<_>>(), &mut d);
-        let first = stms.on_trigger(CoreId::new(0), LineAddr::new(100), Cycle::ZERO, &mut d).unwrap();
+        record_seq(
+            &mut stms,
+            0,
+            &(0..20u64).map(|i| 100 + i).collect::<Vec<_>>(),
+            &mut d,
+        );
+        let first = stms
+            .on_trigger(CoreId::new(0), LineAddr::new(100), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(first.addresses.len(), 4);
         let second = stms.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d);
         assert_eq!(second.addresses[0], LineAddr::new(105));
@@ -314,7 +347,9 @@ mod tests {
         let mut d = dram();
         let mut stms = Stms::new(small_cfg());
         record_seq(&mut stms, 0, &[1, 2, 3], &mut d);
-        assert!(stms.on_trigger(CoreId::new(0), LineAddr::new(999), Cycle::ZERO, &mut d).is_none());
+        assert!(stms
+            .on_trigger(CoreId::new(0), LineAddr::new(999), Cycle::ZERO, &mut d)
+            .is_none());
         assert_eq!(stms.stats().triggers, 1);
         assert_eq!(stms.stats().index_hits, 0);
     }
@@ -374,7 +409,9 @@ mod tests {
         // Record a stream A..H on core 0.
         record_seq(&mut stms, 0, &[1, 2, 3, 4, 5, 6, 7, 8], &mut d);
         // Follow it from A, consume 2 prefetched hits, then trigger elsewhere.
-        let chunk = stms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let chunk = stms
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert!(!chunk.addresses.is_empty());
         stms.record(CoreId::new(0), LineAddr::new(2), true, Cycle::ZERO, &mut d);
         stms.record(CoreId::new(0), LineAddr::new(3), true, Cycle::ZERO, &mut d);
@@ -383,7 +420,9 @@ mod tests {
         let _ = stms.on_trigger(CoreId::new(0), LineAddr::new(777), Cycle::ZERO, &mut d);
         assert_eq!(stms.stats().end_marks, 1);
         // Following the stream again stops at the mark.
-        let chunk = stms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let chunk = stms
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(chunk.addresses, vec![LineAddr::new(2), LineAddr::new(3)]);
         let next = stms.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d);
         assert!(next.is_empty(), "stream is paused at the end mark");
@@ -396,14 +435,19 @@ mod tests {
         record_seq(&mut stms, 0, &[1, 2], &mut d);
         let record_before = d.traffic().meta_record;
         stms.finish(Cycle::ZERO, &mut d);
-        assert!(d.traffic().meta_record > record_before, "partial history block flushed");
+        assert!(
+            d.traffic().meta_record > record_before,
+            "partial history block flushed"
+        );
     }
 
     #[test]
     fn next_chunk_without_active_stream_is_empty() {
         let mut d = dram();
         let mut stms = Stms::new(small_cfg());
-        assert!(stms.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d).is_empty());
+        assert!(stms
+            .next_chunk(CoreId::new(0), Cycle::ZERO, &mut d)
+            .is_empty());
         assert_eq!(stms.name(), "stms");
         assert_eq!(stms.config().cores, 2);
     }
@@ -421,7 +465,13 @@ mod tests {
         let mut d = dram();
         let mut stms = Stms::new(small_cfg());
         record_seq(&mut stms, 0, &[1, 2, 3, 1, 9, 10], &mut d);
-        let chunk = stms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
-        assert_eq!(chunk.addresses[0], LineAddr::new(9), "latest occurrence wins at 100% sampling");
+        let chunk = stms
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
+        assert_eq!(
+            chunk.addresses[0],
+            LineAddr::new(9),
+            "latest occurrence wins at 100% sampling"
+        );
     }
 }

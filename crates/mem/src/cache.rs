@@ -42,7 +42,12 @@ struct Way {
 }
 
 impl Way {
-    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0 };
+    const EMPTY: Way = Way {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        lru: 0,
+    };
 }
 
 /// Hit/miss counters for one cache.
@@ -112,7 +117,10 @@ impl SetAssocCache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(cfg.associativity > 0, "associativity must be non-zero");
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         SetAssocCache {
             cfg,
             sets: vec![vec![Way::EMPTY; cfg.associativity]; sets],
@@ -180,7 +188,12 @@ impl SetAssocCache {
         }
         // Prefer an invalid way.
         if let Some(way) = set.iter_mut().find(|w| !w.valid) {
-            *way = Way { tag, valid: true, dirty, lru: clock };
+            *way = Way {
+                tag,
+                valid: true,
+                dirty,
+                lru: clock,
+            };
             return None;
         }
         // Evict the LRU way.
@@ -188,13 +201,20 @@ impl SetAssocCache {
             .iter_mut()
             .min_by_key(|w| w.lru)
             .expect("associativity is non-zero");
-        let evicted_line =
-            LineAddr::new((victim.tag << set_bits) | set_idx as u64);
-        let eviction = Eviction { line: evicted_line, dirty: victim.dirty };
+        let evicted_line = LineAddr::new((victim.tag << set_bits) | set_idx as u64);
+        let eviction = Eviction {
+            line: evicted_line,
+            dirty: victim.dirty,
+        };
         if eviction.dirty {
             self.stats.dirty_evictions += 1;
         }
-        *victim = Way { tag, valid: true, dirty, lru: clock };
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: clock,
+        };
         Some(eviction)
     }
 
@@ -357,7 +377,10 @@ mod tests {
             c.fill(LineAddr::new(i), false);
         }
         for i in 0..8 {
-            assert!(c.probe(LineAddr::new(i)), "line {i} should still be resident");
+            assert!(
+                c.probe(LineAddr::new(i)),
+                "line {i} should still be resident"
+            );
         }
     }
 }

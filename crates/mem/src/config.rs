@@ -122,8 +122,16 @@ impl SystemConfig {
                 bytes_per_cycle: 28.4 / freq_ghz,
                 transfer_bytes: 64,
             },
-            core: CoreConfig { rob_size: 96, mshrs: 32, freq_ghz },
-            stride: StrideConfig { streams: 32, degree: 2, confidence: 2 },
+            core: CoreConfig {
+                rob_size: 96,
+                mshrs: 32,
+                freq_ghz,
+            },
+            stride: StrideConfig {
+                streams: 32,
+                degree: 2,
+                confidence: 2,
+            },
         }
     }
 

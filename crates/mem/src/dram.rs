@@ -283,7 +283,11 @@ mod tests {
             d.access(TrafficClass::MetaUpdate, 128, Cycle::new(0));
         }
         let demand = d.access(TrafficClass::DemandFill, 64, Cycle::new(0));
-        assert_eq!(demand, Cycle::new(180), "demand must not queue behind meta-data");
+        assert_eq!(
+            demand,
+            Cycle::new(180),
+            "demand must not queue behind meta-data"
+        );
     }
 
     #[test]

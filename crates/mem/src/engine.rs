@@ -183,12 +183,20 @@ impl<'a> CmpSimulator<'a> {
         }
         let prefetcher = std::mem::take(&mut self.res.prefetcher);
         let workload = std::mem::take(&mut self.res.workload);
-        self.res = SimResult { prefetcher, workload, ..SimResult::default() };
+        self.res = SimResult {
+            prefetcher,
+            workload,
+            ..SimResult::default()
+        };
     }
 
     fn step<P: Prefetcher + ?Sized>(&mut self, a: MemAccess, prefetcher: &mut P, measure: bool) {
         let core_idx = a.core.index();
-        assert!(core_idx < self.cores.len(), "trace references core {core_idx} beyond configured {}", self.cores.len());
+        assert!(
+            core_idx < self.cores.len(),
+            "trace references core {core_idx} beyond configured {}",
+            self.cores.len()
+        );
 
         // Advance the core clock over the compute gap (one instruction per cycle).
         {
@@ -290,7 +298,11 @@ impl<'a> CmpSimulator<'a> {
             let st = &mut self.cores[core_idx];
             // Dependent loads expose the full L2 latency; independent ones are
             // largely hidden by out-of-order execution.
-            st.clock += if a.dependent { self.cfg.l2.hit_latency } else { self.cfg.l2.hit_latency / 4 };
+            st.clock += if a.dependent {
+                self.cfg.l2.hit_latency
+            } else {
+                self.cfg.l2.hit_latency / 4
+            };
             if measure {
                 self.res.l2_hits += 1;
             }
@@ -307,14 +319,15 @@ impl<'a> CmpSimulator<'a> {
             if measure {
                 self.res.write_misses += 1;
             }
-            self.dram.access(TrafficClass::DemandFill, self.cfg.l2.line_bytes as u64, now);
+            self.dram
+                .access(TrafficClass::DemandFill, self.cfg.l2.line_bytes as u64, now);
             self.fill_on_chip(core_idx, a.line, true);
             return;
         }
 
         // Demand read miss.
-        let in_stream = self.cores[core_idx].stream.is_active()
-            && self.cores[core_idx].stream.contains(a.line);
+        let in_stream =
+            self.cores[core_idx].stream.is_active() && self.cores[core_idx].stream.contains(a.line);
 
         if measure {
             self.res.uncovered_misses += 1;
@@ -355,8 +368,11 @@ impl<'a> CmpSimulator<'a> {
     /// Applies the epoch timing model to an uncovered demand read miss.
     fn account_read_miss_timing(&mut self, core_idx: usize, a: &MemAccess, measure: bool) {
         let issue_at = self.cores[core_idx].clock + self.cfg.l2.hit_latency;
-        let completion =
-            self.dram.access(TrafficClass::DemandFill, self.cfg.l2.line_bytes as u64, issue_at);
+        let completion = self.dram.access(
+            TrafficClass::DemandFill,
+            self.cfg.l2.line_bytes as u64,
+            issue_at,
+        );
         let st = &mut self.cores[core_idx];
         let joins_epoch = st.epoch_open
             && !a.dependent
@@ -417,14 +433,19 @@ impl<'a> CmpSimulator<'a> {
                 return;
             };
             // Skip lines that are already on chip or already prefetched.
-            if self.l1[core_idx].probe(line) || self.l2.probe(line) || self.cores[core_idx].pfb.contains(line)
+            if self.l1[core_idx].probe(line)
+                || self.l2.probe(line)
+                || self.cores[core_idx].pfb.contains(line)
             {
                 continue;
             }
             let st = &mut self.cores[core_idx];
             let issue_at = st.clock.max(st.stream.ready_at());
-            let completion =
-                self.dram.access(TrafficClass::PrefetchData, self.cfg.l2.line_bytes as u64, issue_at);
+            let completion = self.dram.access(
+                TrafficClass::PrefetchData,
+                self.cfg.l2.line_bytes as u64,
+                issue_at,
+            );
             self.res.prefetches_issued += 1;
             self.cores[core_idx].inflight_prefetches += 1;
             if let Some(evicted) = self.cores[core_idx].pfb.insert(line, completion) {
@@ -447,7 +468,8 @@ impl<'a> CmpSimulator<'a> {
         if let Some(evicted) = self.l2.fill(line, dirty) {
             if evicted.dirty {
                 let now = self.max_clock();
-                self.dram.access(TrafficClass::Writeback, self.cfg.l2.line_bytes as u64, now);
+                self.dram
+                    .access(TrafficClass::Writeback, self.cfg.l2.line_bytes as u64, now);
             }
         }
     }
@@ -458,7 +480,11 @@ impl<'a> CmpSimulator<'a> {
     }
 
     fn max_clock(&self) -> Cycle {
-        self.cores.iter().map(|c| c.clock).max().unwrap_or(Cycle::ZERO)
+        self.cores
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .unwrap_or(Cycle::ZERO)
     }
 
     fn finish<P: Prefetcher + ?Sized>(
@@ -505,7 +531,12 @@ impl<'a> CmpSimulator<'a> {
         let total = *self.dram.traffic();
         let mut measured = TrafficStats::default();
         for class in TrafficClass::ALL {
-            measured.add(class, total.get(class).saturating_sub(self.warmup_traffic.get(class)));
+            measured.add(
+                class,
+                total
+                    .get(class)
+                    .saturating_sub(self.warmup_traffic.get(class)),
+            );
         }
         self.res.traffic = measured;
         self.res
@@ -519,7 +550,11 @@ mod tests {
     use stms_types::{CoreId, TraceMeta};
 
     fn trace_of(lines: &[u64], core: u16) -> Trace {
-        let mut t = Trace::new(TraceMeta { workload: "t".into(), cores: 4, ..Default::default() });
+        let mut t = Trace::new(TraceMeta {
+            workload: "t".into(),
+            cores: 4,
+            ..Default::default()
+        });
         for &l in lines {
             t.push(MemAccess::read(CoreId::new(core), LineAddr::new(l)).with_gap(2));
         }
@@ -527,7 +562,10 @@ mod tests {
     }
 
     fn opts_no_warmup() -> SimOptions {
-        SimOptions { warmup_fraction: 0.0, ..Default::default() }
+        SimOptions {
+            warmup_fraction: 0.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -560,7 +598,11 @@ mod tests {
         let lines: Vec<u64> = (0..300).map(|i| 100_000 + i).collect();
         let t = trace_of(&lines, 0);
         let res = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NullPrefetcher::new());
-        assert!(res.l2_hits > 200, "stride prefetcher should cover the scan, got {}", res.l2_hits);
+        assert!(
+            res.l2_hits > 200,
+            "stride prefetcher should cover the scan, got {}",
+            res.l2_hits
+        );
         assert!(res.traffic.stride_prefetch > 0);
     }
 
@@ -568,8 +610,11 @@ mod tests {
     fn dependent_misses_do_not_overlap() {
         let cfg = SystemConfig::tiny_for_tests();
         let make = |dependent: bool| {
-            let mut t =
-                Trace::new(TraceMeta { workload: "t".into(), cores: 4, ..Default::default() });
+            let mut t = Trace::new(TraceMeta {
+                workload: "t".into(),
+                cores: 4,
+                ..Default::default()
+            });
             for i in 0..400u64 {
                 t.push(
                     MemAccess::read(CoreId::new(0), LineAddr::new(i * 3000 + 11))
@@ -579,13 +624,17 @@ mod tests {
             }
             t
         };
-        let dep = CmpSimulator::new(&cfg, opts_no_warmup())
-            .run(&make(true), &mut NullPrefetcher::new());
-        let indep = CmpSimulator::new(&cfg, opts_no_warmup())
-            .run(&make(false), &mut NullPrefetcher::new());
+        let dep =
+            CmpSimulator::new(&cfg, opts_no_warmup()).run(&make(true), &mut NullPrefetcher::new());
+        let indep =
+            CmpSimulator::new(&cfg, opts_no_warmup()).run(&make(false), &mut NullPrefetcher::new());
         assert!(dep.cycles > indep.cycles, "dependent chains must be slower");
         assert!(dep.mlp() < 1.1);
-        assert!(indep.mlp() > 2.0, "independent misses should overlap, mlp={}", indep.mlp());
+        assert!(
+            indep.mlp() > 2.0,
+            "independent misses should overlap, mlp={}",
+            indep.mlp()
+        );
     }
 
     /// A toy prefetcher that always predicts the next `n` sequential lines
@@ -604,8 +653,13 @@ mod tests {
             now: Cycle,
             _dram: &mut DramModel,
         ) -> Option<StreamChunk> {
-            let addresses = (1..=self.0 as u64).map(|k| LineAddr::new(line.raw() + k)).collect();
-            Some(StreamChunk { addresses, ready_at: now })
+            let addresses = (1..=self.0 as u64)
+                .map(|k| LineAddr::new(line.raw() + k))
+                .collect();
+            Some(StreamChunk {
+                addresses,
+                ready_at: now,
+            })
         }
         fn next_chunk(&mut self, _core: CoreId, now: Cycle, _dram: &mut DramModel) -> StreamChunk {
             StreamChunk::empty(now)
@@ -628,7 +682,11 @@ mod tests {
         cfg.stride.confidence = u32::MAX;
         // A latency-bound pointer chase: every access depends on the previous
         // miss, so the baseline pays a full memory round trip per miss.
-        let mut t = Trace::new(TraceMeta { workload: "chase".into(), cores: 4, ..Default::default() });
+        let mut t = Trace::new(TraceMeta {
+            workload: "chase".into(),
+            cores: 4,
+            ..Default::default()
+        });
         for i in 0..2000u64 {
             t.push(
                 MemAccess::read(CoreId::new(0), LineAddr::new(1_000_000 + i))
@@ -636,12 +694,15 @@ mod tests {
                     .with_dependence(true),
             );
         }
-        let base = CmpSimulator::new(&cfg, opts_no_warmup())
-            .run(&t, &mut NullPrefetcher::new());
+        let base = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NullPrefetcher::new());
         let pf = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NextLines(64));
         assert!(pf.coverage() > 0.8, "coverage {}", pf.coverage());
         assert!(base.mlp() < 1.1, "pointer chase has no MLP");
-        assert!(pf.speedup_over(&base) > 0.5, "speedup {}", pf.speedup_over(&base));
+        assert!(
+            pf.speedup_over(&base) > 0.5,
+            "speedup {}",
+            pf.speedup_over(&base)
+        );
         assert!(pf.prefetches_used > 0);
         assert!(pf.traffic.prefetch_data > 0);
     }
@@ -654,8 +715,7 @@ mod tests {
         // prefetcher cannot help, but it must not hurt by more than a little.
         let lines: Vec<u64> = (0..2000).map(|i| 1_000_000 + i).collect();
         let t = trace_of(&lines, 0);
-        let base = CmpSimulator::new(&cfg, opts_no_warmup())
-            .run(&t, &mut NullPrefetcher::new());
+        let base = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NullPrefetcher::new());
         let pf = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NextLines(64));
         assert!(
             pf.speedup_over(&base) > -0.5,
@@ -681,7 +741,10 @@ mod tests {
         let cfg = SystemConfig::tiny_for_tests();
         let lines: Vec<u64> = (0..1000).map(|i| i * 777).collect();
         let t = trace_of(&lines, 0);
-        let opts = SimOptions { warmup_fraction: 0.5, ..Default::default() };
+        let opts = SimOptions {
+            warmup_fraction: 0.5,
+            ..Default::default()
+        };
         let res = CmpSimulator::new(&cfg, opts).run(&t, &mut NullPrefetcher::new());
         assert_eq!(res.accesses, 500);
         assert!(res.traffic.demand_fill <= 500 * 64);
@@ -690,7 +753,11 @@ mod tests {
     #[test]
     fn multi_core_traces_share_the_l2() {
         let cfg = SystemConfig::tiny_for_tests();
-        let mut t = Trace::new(TraceMeta { workload: "mc".into(), cores: 4, ..Default::default() });
+        let mut t = Trace::new(TraceMeta {
+            workload: "mc".into(),
+            cores: 4,
+            ..Default::default()
+        });
         for i in 0..400u64 {
             let core = (i % 4) as u16;
             t.push(MemAccess::read(CoreId::new(core), LineAddr::new(i / 4 * 9000)).with_gap(1));

@@ -42,7 +42,10 @@ pub struct MshrFile {
 impl MshrFile {
     /// Creates an MSHR file with space for `capacity` outstanding misses.
     pub fn new(capacity: usize) -> Self {
-        MshrFile { capacity, entries: Vec::with_capacity(capacity) }
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of outstanding misses.
@@ -71,7 +74,11 @@ impl MshrFile {
         if self.is_full() {
             return false;
         }
-        self.entries.push(MshrEntry { line, completes_at, merged: 1 });
+        self.entries.push(MshrEntry {
+            line,
+            completes_at,
+            merged: 1,
+        });
         true
     }
 
@@ -117,7 +124,10 @@ mod tests {
         assert_eq!(m.outstanding(), 1);
         assert_eq!(m.lookup(LineAddr::new(1)).unwrap().merged, 2);
         // The completion time of the original entry is preserved.
-        assert_eq!(m.lookup(LineAddr::new(1)).unwrap().completes_at, Cycle::new(10));
+        assert_eq!(
+            m.lookup(LineAddr::new(1)).unwrap().completes_at,
+            Cycle::new(10)
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct StreamChunk {
 impl StreamChunk {
     /// A chunk carrying no addresses: the stream is exhausted.
     pub fn empty(now: Cycle) -> Self {
-        StreamChunk { addresses: Vec::new(), ready_at: now }
+        StreamChunk {
+            addresses: Vec::new(),
+            ready_at: now,
+        }
     }
 
     /// Whether the chunk carries no addresses.
@@ -141,8 +144,16 @@ mod tests {
         assert!(p
             .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut dram)
             .is_none());
-        assert!(p.next_chunk(CoreId::new(0), Cycle::ZERO, &mut dram).is_empty());
-        p.record(CoreId::new(0), LineAddr::new(1), false, Cycle::ZERO, &mut dram);
+        assert!(p
+            .next_chunk(CoreId::new(0), Cycle::ZERO, &mut dram)
+            .is_empty());
+        p.record(
+            CoreId::new(0),
+            LineAddr::new(1),
+            false,
+            Cycle::ZERO,
+            &mut dram,
+        );
         p.on_unused(CoreId::new(0), LineAddr::new(1));
         p.finish(Cycle::ZERO, &mut dram);
         assert_eq!(dram.traffic().total(), 0);
@@ -153,7 +164,10 @@ mod tests {
         let c = StreamChunk::empty(Cycle::new(5));
         assert!(c.is_empty());
         assert_eq!(c.ready_at, Cycle::new(5));
-        let full = StreamChunk { addresses: vec![LineAddr::new(1)], ready_at: Cycle::ZERO };
+        let full = StreamChunk {
+            addresses: vec![LineAddr::new(1)],
+            ready_at: Cycle::ZERO,
+        };
         assert!(!full.is_empty());
     }
 }

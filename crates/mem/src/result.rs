@@ -232,7 +232,10 @@ mod tests {
         let fast = sample();
         let mut slow = sample();
         slow.cycles = 4000;
-        assert!((fast.speedup_over(&slow) - 1.0).abs() < 1e-9, "twice as fast = +100%");
+        assert!(
+            (fast.speedup_over(&slow) - 1.0).abs() < 1e-9,
+            "twice as fast = +100%"
+        );
         assert_eq!(fast.speedup_over(&fast), 0.0);
     }
 

@@ -50,7 +50,10 @@ impl PrefetchBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch buffer capacity must be non-zero");
-        PrefetchBuffer { capacity, blocks: VecDeque::with_capacity(capacity) }
+        PrefetchBuffer {
+            capacity,
+            blocks: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Number of blocks currently buffered.
@@ -77,8 +80,13 @@ impl PrefetchBuffer {
             existing.available_at = existing.available_at.min(available_at);
             return None;
         }
-        let evicted = if self.blocks.len() >= self.capacity { self.blocks.pop_front() } else { None };
-        self.blocks.push_back(PrefetchedBlock { line, available_at });
+        let evicted = if self.blocks.len() >= self.capacity {
+            self.blocks.pop_front()
+        } else {
+            None
+        };
+        self.blocks
+            .push_back(PrefetchedBlock { line, available_at });
         evicted
     }
 
@@ -213,7 +221,10 @@ mod tests {
         let mut b = PrefetchBuffer::new(2);
         b.insert(LineAddr::new(1), Cycle::new(100));
         assert!(b.insert(LineAddr::new(1), Cycle::new(50)).is_none());
-        assert_eq!(b.take(LineAddr::new(1)).unwrap().available_at, Cycle::new(50));
+        assert_eq!(
+            b.take(LineAddr::new(1)).unwrap().available_at,
+            Cycle::new(50)
+        );
     }
 
     #[test]
@@ -263,7 +274,12 @@ mod tests {
     fn stream_drop_through() {
         let mut s = StreamState::new();
         s.start(
-            vec![LineAddr::new(1), LineAddr::new(2), LineAddr::new(3), LineAddr::new(4)],
+            vec![
+                LineAddr::new(1),
+                LineAddr::new(2),
+                LineAddr::new(3),
+                LineAddr::new(4),
+            ],
             Cycle::ZERO,
         );
         assert_eq!(s.drop_through(LineAddr::new(3)), 3);

@@ -113,7 +113,9 @@ impl StridePrefetcher {
                 let stride = entry.stride;
                 let degree = self.cfg.degree;
                 self.stats.prefetches += degree as u64;
-                return (1..=degree as i64).map(|k| line.offset(stride * k)).collect();
+                return (1..=degree as i64)
+                    .map(|k| line.offset(stride * k))
+                    .collect();
             }
             return Vec::new();
         }
@@ -147,7 +149,11 @@ mod tests {
     use super::*;
 
     fn sp() -> StridePrefetcher {
-        StridePrefetcher::new(StrideConfig { streams: 4, degree: 2, confidence: 2 })
+        StridePrefetcher::new(StrideConfig {
+            streams: 4,
+            degree: 2,
+            confidence: 2,
+        })
     }
 
     #[test]
@@ -155,7 +161,10 @@ mod tests {
         let mut p = sp();
         let core = CoreId::new(0);
         assert!(p.train(core, LineAddr::new(100)).is_empty());
-        assert!(p.train(core, LineAddr::new(101)).is_empty(), "confidence 1 of 2");
+        assert!(
+            p.train(core, LineAddr::new(101)).is_empty(),
+            "confidence 1 of 2"
+        );
         let out = p.train(core, LineAddr::new(102));
         assert_eq!(out, vec![LineAddr::new(103), LineAddr::new(104)]);
     }

@@ -36,7 +36,10 @@ pub struct MissTraceCollector {
 impl MissTraceCollector {
     /// Creates a collector for a system with `cores` cores.
     pub fn new(cores: usize) -> Self {
-        MissTraceCollector { cores, misses: Vec::new() }
+        MissTraceCollector {
+            cores,
+            misses: Vec::new(),
+        }
     }
 
     /// All recorded off-chip read misses in global order.
@@ -46,12 +49,18 @@ impl MissTraceCollector {
 
     /// The miss sequence of one core.
     pub fn per_core(&self, core: CoreId) -> Vec<LineAddr> {
-        self.misses.iter().filter(|(c, _)| *c == core).map(|&(_, l)| l).collect()
+        self.misses
+            .iter()
+            .filter(|(c, _)| *c == core)
+            .map(|&(_, l)| l)
+            .collect()
     }
 
     /// The miss sequences of every core, indexed by core id.
     pub fn all_cores(&self) -> Vec<Vec<LineAddr>> {
-        (0..self.cores).map(|c| self.per_core(CoreId::new(c as u16))).collect()
+        (0..self.cores)
+            .map(|c| self.per_core(CoreId::new(c as u16)))
+            .collect()
     }
 
     /// Consumes the collector, returning the global miss sequence.
@@ -87,7 +96,10 @@ impl Prefetcher for MissTraceCollector {
         _now: Cycle,
         _dram: &mut DramModel,
     ) {
-        debug_assert!(!prefetched, "a collector never prefetches, so hits cannot be prefetched");
+        debug_assert!(
+            !prefetched,
+            "a collector never prefetches, so hits cannot be prefetched"
+        );
         self.misses.push((core, line));
     }
 }
@@ -102,10 +114,19 @@ mod tests {
         let mut c = MissTraceCollector::new(2);
         let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
         for (core, line) in [(0u16, 1u64), (1, 2), (0, 3), (1, 4)] {
-            c.record(CoreId::new(core), LineAddr::new(line), false, Cycle::ZERO, &mut dram);
+            c.record(
+                CoreId::new(core),
+                LineAddr::new(line),
+                false,
+                Cycle::ZERO,
+                &mut dram,
+            );
         }
         assert_eq!(c.misses().len(), 4);
-        assert_eq!(c.per_core(CoreId::new(0)), vec![LineAddr::new(1), LineAddr::new(3)]);
+        assert_eq!(
+            c.per_core(CoreId::new(0)),
+            vec![LineAddr::new(1), LineAddr::new(3)]
+        );
         assert_eq!(c.all_cores().len(), 2);
         assert_eq!(c.all_cores()[1], vec![LineAddr::new(2), LineAddr::new(4)]);
         assert_eq!(c.clone().into_misses().len(), 4);
@@ -116,8 +137,12 @@ mod tests {
     fn never_returns_streams() {
         let mut c = MissTraceCollector::new(1);
         let mut dram = DramModel::new(SystemConfig::hpca09_baseline().dram);
-        assert!(c.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut dram).is_none());
-        assert!(c.next_chunk(CoreId::new(0), Cycle::ZERO, &mut dram).is_empty());
+        assert!(c
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut dram)
+            .is_none());
+        assert!(c
+            .next_chunk(CoreId::new(0), Cycle::ZERO, &mut dram)
+            .is_empty());
         assert_eq!(dram.traffic().total(), 0);
     }
 }

@@ -52,7 +52,10 @@ impl FixedDepthConfig {
             entries: 1 << 17,
             associativity: 8,
             depth: 6,
-            placement: TablePlacement::OffChip { lookup_accesses: 1, update_accesses: 3 },
+            placement: TablePlacement::OffChip {
+                lookup_accesses: 1,
+                update_accesses: 3,
+            },
         }
     }
 
@@ -64,7 +67,10 @@ impl FixedDepthConfig {
             entries: 1 << 17,
             associativity: 8,
             depth: 4,
-            placement: TablePlacement::OffChip { lookup_accesses: 1, update_accesses: 3 },
+            placement: TablePlacement::OffChip {
+                lookup_accesses: 1,
+                update_accesses: 3,
+            },
         }
     }
 
@@ -145,7 +151,7 @@ impl FixedDepthPrefetcher {
     /// Panics if the geometry is invalid (entries not a multiple of
     /// associativity, or a non-power-of-two set count).
     pub fn new(cfg: FixedDepthConfig) -> Self {
-        assert!(cfg.associativity > 0 && cfg.entries % cfg.associativity == 0);
+        assert!(cfg.associativity > 0 && cfg.entries.is_multiple_of(cfg.associativity));
         let sets = cfg.entries / cfg.associativity;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(cfg.depth > 0, "depth must be non-zero");
@@ -172,7 +178,13 @@ impl FixedDepthPrefetcher {
         (line.raw() % self.sets.len() as u64) as usize
     }
 
-    fn charge_meta(&self, accesses: u32, now: Cycle, dram: &mut DramModel, class: TrafficClass) -> Cycle {
+    fn charge_meta(
+        &self,
+        accesses: u32,
+        now: Cycle,
+        dram: &mut DramModel,
+        class: TrafficClass,
+    ) -> Cycle {
         let mut done = now;
         for _ in 0..accesses {
             done = dram.access(class, 64, done);
@@ -195,7 +207,11 @@ impl FixedDepthPrefetcher {
             }
             return;
         }
-        let entry = Entry { tag: trigger, successors: vec![successor], lru: clock };
+        let entry = Entry {
+            tag: trigger,
+            successors: vec![successor],
+            lru: clock,
+        };
         if set.len() < assoc {
             set.push(entry);
         } else {
@@ -223,9 +239,9 @@ impl Prefetcher for FixedDepthPrefetcher {
         self.stats.lookups += 1;
         let ready_at = match self.cfg.placement {
             TablePlacement::OnChip => now,
-            TablePlacement::OffChip { lookup_accesses, .. } => {
-                self.charge_meta(lookup_accesses, now, dram, TrafficClass::MetaLookup)
-            }
+            TablePlacement::OffChip {
+                lookup_accesses, ..
+            } => self.charge_meta(lookup_accesses, now, dram, TrafficClass::MetaLookup),
         };
         self.clock += 1;
         let clock = self.clock;
@@ -237,7 +253,10 @@ impl Prefetcher for FixedDepthPrefetcher {
             return None;
         }
         self.stats.lookup_hits += 1;
-        Some(StreamChunk { addresses, ready_at })
+        Some(StreamChunk {
+            addresses,
+            ready_at,
+        })
     }
 
     fn next_chunk(&mut self, _core: CoreId, now: Cycle, _dram: &mut DramModel) -> StreamChunk {
@@ -262,7 +281,10 @@ impl Prefetcher for FixedDepthPrefetcher {
         // Update traffic: one table update per recorded miss (read-modify-write
         // of the trigger entry) for off-chip placements.
         self.stats.updates += 1;
-        if let TablePlacement::OffChip { update_accesses, .. } = self.cfg.placement {
+        if let TablePlacement::OffChip {
+            update_accesses, ..
+        } = self.cfg.placement
+        {
             self.charge_meta(update_accesses, now, dram, TrafficClass::MetaUpdate);
         }
         let recent = &mut self.recent[core.index()];
@@ -284,7 +306,13 @@ mod tests {
 
     fn record_seq(p: &mut FixedDepthPrefetcher, core: u16, lines: &[u64], dram: &mut DramModel) {
         for &l in lines {
-            p.record(CoreId::new(core), LineAddr::new(l), false, Cycle::ZERO, dram);
+            p.record(
+                CoreId::new(core),
+                LineAddr::new(l),
+                false,
+                Cycle::ZERO,
+                dram,
+            );
         }
     }
 
@@ -293,8 +321,13 @@ mod tests {
         let mut p = FixedDepthPrefetcher::new(FixedDepthConfig::on_chip_with_depth(1, 3));
         let mut d = dram();
         record_seq(&mut p, 0, &[1, 2, 3, 4, 5, 6, 7], &mut d);
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
-        assert_eq!(c.addresses, vec![LineAddr::new(2), LineAddr::new(3), LineAddr::new(4)]);
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
+        assert_eq!(
+            c.addresses,
+            vec![LineAddr::new(2), LineAddr::new(3), LineAddr::new(4)]
+        );
         assert!(p.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d).is_empty());
         assert_eq!(p.depth(), 3);
     }
@@ -304,7 +337,9 @@ mod tests {
         let mut p = FixedDepthPrefetcher::new(FixedDepthConfig::on_chip_with_depth(1, 2));
         let mut d = dram();
         record_seq(&mut p, 0, &[1, 2, 3], &mut d);
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::new(55), &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::new(55), &mut d)
+            .unwrap();
         assert_eq!(c.ready_at, Cycle::new(55));
         assert_eq!(d.traffic().total(), 0);
         assert_eq!(p.name(), "fixed-depth-onchip");
@@ -315,10 +350,19 @@ mod tests {
         let mut p = FixedDepthPrefetcher::new(FixedDepthConfig::ebcp_like(1));
         let mut d = dram();
         record_seq(&mut p, 0, &[1, 2, 3], &mut d);
-        assert_eq!(d.traffic().meta_update, 3 * 3 * 64, "3 updates x 3 accesses x 64B");
+        assert_eq!(
+            d.traffic().meta_update,
+            3 * 3 * 64,
+            "3 updates x 3 accesses x 64B"
+        );
         let before = d.traffic().meta_lookup;
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::new(0), &mut d).unwrap();
-        assert!(c.ready_at >= Cycle::new(180), "off-chip lookup takes at least one DRAM latency");
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::new(0), &mut d)
+            .unwrap();
+        assert!(
+            c.ready_at >= Cycle::new(180),
+            "off-chip lookup takes at least one DRAM latency"
+        );
         assert_eq!(d.traffic().meta_lookup, before + 64);
         assert_eq!(p.name(), "fixed-depth-offchip");
     }
@@ -327,7 +371,9 @@ mod tests {
     fn unknown_trigger_returns_none_but_still_counts_lookup() {
         let mut p = FixedDepthPrefetcher::new(FixedDepthConfig::on_chip_with_depth(1, 2));
         let mut d = dram();
-        assert!(p.on_trigger(CoreId::new(0), LineAddr::new(9), Cycle::ZERO, &mut d).is_none());
+        assert!(p
+            .on_trigger(CoreId::new(0), LineAddr::new(9), Cycle::ZERO, &mut d)
+            .is_none());
         assert_eq!(p.stats().lookups, 1);
         assert_eq!(p.stats().lookup_hits, 0);
     }
@@ -338,8 +384,14 @@ mod tests {
         let mut d = dram();
         // The stream A B C D recurs; the entry for A accumulates B C D.
         record_seq(&mut p, 0, &[10, 11, 12, 13, 99, 10, 11, 12, 13], &mut d);
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d).unwrap();
-        assert!(c.addresses.starts_with(&[LineAddr::new(11), LineAddr::new(12), LineAddr::new(13)]));
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d)
+            .unwrap();
+        assert!(c.addresses.starts_with(&[
+            LineAddr::new(11),
+            LineAddr::new(12),
+            LineAddr::new(13)
+        ]));
     }
 
     #[test]
@@ -347,11 +399,21 @@ mod tests {
         let mut p = FixedDepthPrefetcher::new(FixedDepthConfig::on_chip_with_depth(2, 2));
         let mut d = dram();
         p.record(CoreId::new(0), LineAddr::new(1), false, Cycle::ZERO, &mut d);
-        p.record(CoreId::new(1), LineAddr::new(50), false, Cycle::ZERO, &mut d);
+        p.record(
+            CoreId::new(1),
+            LineAddr::new(50),
+            false,
+            Cycle::ZERO,
+            &mut d,
+        );
         p.record(CoreId::new(0), LineAddr::new(2), false, Cycle::ZERO, &mut d);
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(2)]);
-        assert!(p.on_trigger(CoreId::new(1), LineAddr::new(50), Cycle::ZERO, &mut d).is_none());
+        assert!(p
+            .on_trigger(CoreId::new(1), LineAddr::new(50), Cycle::ZERO, &mut d)
+            .is_none());
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl HistoryLog {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history capacity must be non-zero");
-        HistoryLog { buf: Vec::with_capacity(capacity.min(1 << 20)), capacity, next_pos: 0 }
+        HistoryLog {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            next_pos: 0,
+        }
     }
 
     /// Maximum number of retained entries.

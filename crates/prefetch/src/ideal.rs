@@ -149,8 +149,7 @@ impl IdealTms {
         let Some(cursor) = self.cursors[core.index()] else {
             return Vec::new();
         };
-        let chunk =
-            self.histories[cursor.src_core].read_from(cursor.next_pos, self.cfg.chunk_size);
+        let chunk = self.histories[cursor.src_core].read_from(cursor.next_pos, self.cfg.chunk_size);
         self.cursors[core.index()] = Some(Cursor {
             src_core: cursor.src_core,
             next_pos: cursor.next_pos + chunk.len() as u64,
@@ -179,18 +178,27 @@ impl Prefetcher for IdealTms {
         let (src_core, pos) = self.index_get(line)?;
         self.stats.index_hits += 1;
         // Follow the sequence of misses that followed `line` last time.
-        self.cursors[core.index()] = Some(Cursor { src_core, next_pos: pos + 1 });
+        self.cursors[core.index()] = Some(Cursor {
+            src_core,
+            next_pos: pos + 1,
+        });
         let addresses = self.read_chunk(core);
         if addresses.is_empty() {
             self.cursors[core.index()] = None;
             return None;
         }
-        Some(StreamChunk { addresses, ready_at: now })
+        Some(StreamChunk {
+            addresses,
+            ready_at: now,
+        })
     }
 
     fn next_chunk(&mut self, core: CoreId, now: Cycle, _dram: &mut DramModel) -> StreamChunk {
         let addresses = self.read_chunk(core);
-        StreamChunk { addresses, ready_at: now }
+        StreamChunk {
+            addresses,
+            ready_at: now,
+        }
     }
 
     fn record(
@@ -225,23 +233,36 @@ mod tests {
 
     #[test]
     fn trigger_without_history_finds_nothing() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 2, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 2,
+            ..Default::default()
+        });
         let mut d = dram();
-        assert!(tms.on_trigger(CoreId::new(0), LineAddr::new(5), Cycle::ZERO, &mut d).is_none());
+        assert!(tms
+            .on_trigger(CoreId::new(0), LineAddr::new(5), Cycle::ZERO, &mut d)
+            .is_none());
         assert_eq!(tms.stats().triggers, 1);
         assert_eq!(tms.stats().index_hits, 0);
     }
 
     #[test]
     fn stream_is_replayed_after_recording() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 1, chunk_size: 2, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 1,
+            chunk_size: 2,
+            ..Default::default()
+        });
         record_seq(&mut tms, CoreId::new(0), &[10, 20, 30, 40, 50]);
         let mut d = dram();
         let chunk = tms
             .on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::new(7), &mut d)
             .expect("index hit");
         assert_eq!(chunk.addresses, vec![LineAddr::new(20), LineAddr::new(30)]);
-        assert_eq!(chunk.ready_at, Cycle::new(7), "idealized lookup has zero latency");
+        assert_eq!(
+            chunk.ready_at,
+            Cycle::new(7),
+            "idealized lookup has zero latency"
+        );
         // Further chunks continue the stream until the history ends.
         let c2 = tms.next_chunk(CoreId::new(0), Cycle::new(8), &mut d);
         assert_eq!(c2.addresses, vec![LineAddr::new(40), LineAddr::new(50)]);
@@ -253,22 +274,31 @@ mod tests {
 
     #[test]
     fn index_points_to_most_recent_occurrence() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 1, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 1,
+            ..Default::default()
+        });
         // A appears twice with different successors; the later one wins.
         record_seq(&mut tms, CoreId::new(0), &[1, 2, 3, 1, 7, 8]);
         let mut d = dram();
-        let chunk = tms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let chunk = tms
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(chunk.addresses[0], LineAddr::new(7));
     }
 
     #[test]
     fn cross_core_streams_are_found_via_shared_index() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 2, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 2,
+            ..Default::default()
+        });
         record_seq(&mut tms, CoreId::new(0), &[100, 101, 102, 103]);
         let mut d = dram();
         // Core 1 misses on an address recorded by core 0.
-        let chunk =
-            tms.on_trigger(CoreId::new(1), LineAddr::new(100), Cycle::ZERO, &mut d).unwrap();
+        let chunk = tms
+            .on_trigger(CoreId::new(1), LineAddr::new(100), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(chunk.addresses[0], LineAddr::new(101));
     }
 
@@ -282,17 +312,23 @@ mod tests {
         record_seq(&mut tms, CoreId::new(0), &[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut d = dram();
         assert!(
-            tms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).is_none(),
+            tms.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+                .is_none(),
             "entry for 1 should have been evicted from a 4-entry index"
         );
-        assert!(tms.on_trigger(CoreId::new(0), LineAddr::new(7), Cycle::ZERO, &mut d).is_some());
+        assert!(tms
+            .on_trigger(CoreId::new(0), LineAddr::new(7), Cycle::ZERO, &mut d)
+            .is_some());
         assert!(tms.index_len() <= 4);
         assert_eq!(tms.name(), "ideal-tms-bounded");
     }
 
     #[test]
     fn unbounded_name_and_stats() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 1, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 1,
+            ..Default::default()
+        });
         assert_eq!(tms.name(), "ideal-tms");
         record_seq(&mut tms, CoreId::new(0), &[1, 2]);
         assert_eq!(tms.stats().recorded, 2);
@@ -301,10 +337,15 @@ mod tests {
 
     #[test]
     fn trigger_at_end_of_history_returns_none() {
-        let mut tms = IdealTms::new(IdealTmsConfig { cores: 1, ..Default::default() });
+        let mut tms = IdealTms::new(IdealTmsConfig {
+            cores: 1,
+            ..Default::default()
+        });
         record_seq(&mut tms, CoreId::new(0), &[1, 2, 3]);
         let mut d = dram();
         // 3 is the last recorded miss: there is no successor yet.
-        assert!(tms.on_trigger(CoreId::new(0), LineAddr::new(3), Cycle::ZERO, &mut d).is_none());
+        assert!(tms
+            .on_trigger(CoreId::new(0), LineAddr::new(3), Cycle::ZERO, &mut d)
+            .is_none());
     }
 }

@@ -122,7 +122,9 @@ impl LruIndex {
             return;
         }
         let map = &self.map;
-        self.recency.retain(|&(line, tick)| matches!(map.get(&line), Some(&(_, current)) if current == tick));
+        self.recency.retain(
+            |&(line, tick)| matches!(map.get(&line), Some(&(_, current)) if current == tick),
+        );
     }
 }
 
@@ -183,7 +185,10 @@ mod tests {
         for _ in 0..10_000 {
             idx.get(LineAddr::new(3));
         }
-        assert!(idx.recency.len() < 1000, "recency queue should be compacted");
+        assert!(
+            idx.recency.len() < 1000,
+            "recency queue should be compacted"
+        );
         assert_eq!(idx.len(), 8);
     }
 

@@ -24,7 +24,12 @@ pub struct MarkovConfig {
 
 impl Default for MarkovConfig {
     fn default() -> Self {
-        MarkovConfig { cores: 4, entries: 64 * 1024, associativity: 8, successors: 2 }
+        MarkovConfig {
+            cores: 4,
+            entries: 64 * 1024,
+            associativity: 8,
+            successors: 2,
+        }
     }
 }
 
@@ -70,7 +75,7 @@ impl MarkovPrefetcher {
     /// Panics if `entries` is not a multiple of `associativity` or the
     /// resulting set count is not a power of two.
     pub fn new(cfg: MarkovConfig) -> Self {
-        assert!(cfg.associativity > 0 && cfg.entries % cfg.associativity == 0);
+        assert!(cfg.associativity > 0 && cfg.entries.is_multiple_of(cfg.associativity));
         let sets = cfg.entries / cfg.associativity;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         MarkovPrefetcher {
@@ -100,11 +105,19 @@ impl MarkovPrefetcher {
             entry.successors.truncate(max_succ);
             return;
         }
-        let new_entry = Entry { tag: predecessor, successors: vec![successor], lru: clock, valid: true };
+        let new_entry = Entry {
+            tag: predecessor,
+            successors: vec![successor],
+            lru: clock,
+            valid: true,
+        };
         if set.len() < assoc {
             set.push(new_entry);
         } else {
-            let victim = set.iter_mut().min_by_key(|e| e.lru).expect("associativity > 0");
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("associativity > 0");
             *victim = new_entry;
         }
     }
@@ -113,7 +126,10 @@ impl MarkovPrefetcher {
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_of(line);
-        match self.sets[set_idx].iter_mut().find(|e| e.valid && e.tag == line) {
+        match self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == line)
+        {
             Some(entry) => {
                 entry.lru = clock;
                 entry.successors.clone()
@@ -124,7 +140,10 @@ impl MarkovPrefetcher {
 
     /// Number of valid correlation entries currently stored.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().filter(|e| e.valid).count()).sum()
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count())
+            .sum()
     }
 }
 
@@ -144,7 +163,10 @@ impl Prefetcher for MarkovPrefetcher {
         if addresses.is_empty() {
             None
         } else {
-            Some(StreamChunk { addresses, ready_at: now })
+            Some(StreamChunk {
+                addresses,
+                ready_at: now,
+            })
         }
     }
 
@@ -181,13 +203,24 @@ mod tests {
     }
 
     fn small() -> MarkovPrefetcher {
-        MarkovPrefetcher::new(MarkovConfig { cores: 2, entries: 16, associativity: 2, successors: 2 })
+        MarkovPrefetcher::new(MarkovConfig {
+            cores: 2,
+            entries: 16,
+            associativity: 2,
+            successors: 2,
+        })
     }
 
     fn record_seq(p: &mut MarkovPrefetcher, core: u16, lines: &[u64]) {
         let mut d = dram();
         for &l in lines {
-            p.record(CoreId::new(core), LineAddr::new(l), false, Cycle::ZERO, &mut d);
+            p.record(
+                CoreId::new(core),
+                LineAddr::new(l),
+                false,
+                Cycle::ZERO,
+                &mut d,
+            );
         }
     }
 
@@ -196,11 +229,17 @@ mod tests {
         let mut p = small();
         record_seq(&mut p, 0, &[10, 20, 30]);
         let mut d = dram();
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(10), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(20)]);
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(20), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(20), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(30)]);
-        assert!(p.on_trigger(CoreId::new(0), LineAddr::new(30), Cycle::ZERO, &mut d).is_none());
+        assert!(p
+            .on_trigger(CoreId::new(0), LineAddr::new(30), Cycle::ZERO, &mut d)
+            .is_none());
         assert!(p.next_chunk(CoreId::new(0), Cycle::ZERO, &mut d).is_empty());
     }
 
@@ -209,7 +248,9 @@ mod tests {
         let mut p = small();
         record_seq(&mut p, 0, &[1, 2, 1, 3]);
         let mut d = dram();
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(3), LineAddr::new(2)]);
     }
 
@@ -218,7 +259,9 @@ mod tests {
         let mut p = small();
         record_seq(&mut p, 0, &[1, 2, 1, 3, 1, 4, 1, 2]);
         let mut d = dram();
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses.len(), 2, "bounded to `successors`");
         assert_eq!(c.addresses[0], LineAddr::new(2), "most recent first");
     }
@@ -229,11 +272,21 @@ mod tests {
         // Interleave two cores; correlations must not cross cores.
         let mut d = dram();
         for (core, line) in [(0u16, 1u64), (1, 100), (0, 2), (1, 200)] {
-            p.record(CoreId::new(core), LineAddr::new(line), false, Cycle::ZERO, &mut d);
+            p.record(
+                CoreId::new(core),
+                LineAddr::new(line),
+                false,
+                Cycle::ZERO,
+                &mut d,
+            );
         }
-        let c = p.on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(0), LineAddr::new(1), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(2)]);
-        let c = p.on_trigger(CoreId::new(1), LineAddr::new(100), Cycle::ZERO, &mut d).unwrap();
+        let c = p
+            .on_trigger(CoreId::new(1), LineAddr::new(100), Cycle::ZERO, &mut d)
+            .unwrap();
         assert_eq!(c.addresses, vec![LineAddr::new(200)]);
     }
 
@@ -257,6 +310,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_geometry_panics() {
-        let _ = MarkovPrefetcher::new(MarkovConfig { cores: 1, entries: 10, associativity: 3, successors: 1 });
+        let _ = MarkovPrefetcher::new(MarkovConfig {
+            cores: 1,
+            entries: 10,
+            associativity: 3,
+            successors: 1,
+        });
     }
 }

@@ -1,0 +1,6 @@
+//! Offline stand-in for the real `serde` crate (see `serde_derive` shim for
+//! the rationale). Only the derive-macro surface is provided; nothing in the
+//! workspace performs serde-based (de)serialization at runtime.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

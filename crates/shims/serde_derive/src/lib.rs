@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The workspace builds without network access, so the registry versions of
+//! serde are unavailable. The simulator only ever uses `#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations (no code path serializes
+//! through serde yet — the binary trace codec is hand-rolled), so the derives
+//! expand to nothing. Swap this shim for the real crates by editing
+//! `[workspace.dependencies]` once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

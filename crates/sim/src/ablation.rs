@@ -77,10 +77,7 @@ fn dram() -> DramModel {
 /// Runs the ablation for one workload: every baseline off-chip read miss is
 /// first looked up and then inserted in each organization (mimicking the
 /// lookup-then-record flow of the prefetcher at 100% update sampling).
-pub fn index_organization_ablation(
-    cfg: &ExperimentConfig,
-    spec: &WorkloadSpec,
-) -> IndexAblation {
+pub fn index_organization_ablation(cfg: &ExperimentConfig, spec: &WorkloadSpec) -> IndexAblation {
     let per_core = collect_miss_sequences(cfg, spec);
     // Rebuild a single interleaved sequence (round-robin over cores keeps the
     // per-core orders intact, which is all the index cares about).
@@ -91,7 +88,11 @@ pub fn index_organization_ablation(
         let mut progressed = false;
         for (core, seq) in per_core.iter().enumerate() {
             if cursors[core] < seq.len() {
-                misses.push((CoreId::new(core as u16), seq[cursors[core]], positions[core]));
+                misses.push((
+                    CoreId::new(core as u16),
+                    seq[cursors[core]],
+                    positions[core],
+                ));
                 cursors[core] += 1;
                 positions[core] += 1;
                 progressed = true;
@@ -120,7 +121,11 @@ pub fn index_organization_ablation(
     for &(core, line, position) in &misses {
         let pointer = HistoryPointer { core, position };
         // Bucketized (block counts come from the DRAM traffic counters).
-        if bucketized.lookup(line, Cycle::ZERO, &mut d_bucket).0.is_some() {
+        if bucketized
+            .lookup(line, Cycle::ZERO, &mut d_bucket)
+            .0
+            .is_some()
+        {
             hits_b += 1;
         }
         bucketized.update(line, pointer, Cycle::ZERO, &mut d_bucket);
@@ -165,7 +170,11 @@ pub fn index_organization_ablation(
             storage_mib: mib(chained.storage_bytes()),
         },
     ];
-    IndexAblation { workload: spec.name.clone(), misses: misses.len(), rows }
+    IndexAblation {
+        workload: spec.name.clone(),
+        misses: misses.len(),
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -51,9 +51,10 @@ fn run_one(id: &str, cfg: &ExperimentConfig) -> Option<FigureResult> {
             FigureResult {
                 id: "ablation-index".into(),
                 table: ablation.table(),
-                notes: "the bucketized table resolves every lookup with one memory block; the \
+                notes:
+                    "the bucketized table resolves every lookup with one memory block; the \
                         alternatives either probe/chain across several blocks or spend more storage"
-                    .into(),
+                        .into(),
             }
         }
         _ => return None,
@@ -112,7 +113,8 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{}.csv", result.id);
             let mut file = std::fs::File::create(&path).expect("create csv file");
-            file.write_all(result.table.to_csv().as_bytes()).expect("write csv");
+            file.write_all(result.table.to_csv().as_bytes())
+                .expect("write csv");
             eprintln!("wrote {path}");
         }
     }

@@ -6,9 +6,7 @@
 //! around these functions; `EXPERIMENTS.md` records the measured values next
 //! to the paper's.
 
-use crate::runner::{
-    collect_miss_sequences, run_matched, run_suite, run_workload, PrefetcherKind,
-};
+use crate::runner::{collect_miss_sequences, run_matched, run_suite, run_workload, PrefetcherKind};
 use crate::system::ExperimentConfig;
 use stms_core::StmsConfig;
 use stms_mem::SimResult;
@@ -76,10 +74,16 @@ pub fn table1_system(cfg: &ExperimentConfig) -> FigureResult {
                 sys.dram.latency_cycles, sys.dram.bytes_per_cycle
             ),
         ),
-        ("ROB / MSHRs per core".into(), format!("{} / {}", sys.core.rob_size, sys.core.mshrs)),
+        (
+            "ROB / MSHRs per core".into(),
+            format!("{} / {}", sys.core.rob_size, sys.core.mshrs),
+        ),
         (
             "stride prefetcher".into(),
-            format!("{} streams, degree {}", sys.stride.streams, sys.stride.degree),
+            format!(
+                "{} streams, degree {}",
+                sys.stride.streams, sys.stride.degree
+            ),
         ),
         ("trace length".into(), format!("{} accesses", cfg.accesses)),
     ];
@@ -189,14 +193,14 @@ pub fn fig1_right_published_overheads() -> FigureResult {
 /// baseline, per workload.
 pub fn fig4_potential(cfg: &ExperimentConfig) -> FigureResult {
     let specs = workload_suite();
-    let mut t = TextTable::new(vec![
-        "workload".into(),
-        "coverage".into(),
-        "speedup".into(),
-    ])
-    .with_title("Figure 4: idealized TMS prefetching potential");
+    let mut t = TextTable::new(vec!["workload".into(), "coverage".into(), "speedup".into()])
+        .with_title("Figure 4: idealized TMS prefetching potential");
     for spec in &specs {
-        let results = run_matched(cfg, spec, &[PrefetcherKind::Baseline, PrefetcherKind::ideal()]);
+        let results = run_matched(
+            cfg,
+            spec,
+            &[PrefetcherKind::Baseline, PrefetcherKind::ideal()],
+        );
         let base = &results[0];
         let ideal = &results[1];
         t.add_row(vec![
@@ -220,12 +224,18 @@ pub fn fig5_history_sweep(cfg: &ExperimentConfig) -> FigureResult {
     let specs = workload_suite();
     // Entries per core; 4 bytes per entry, 4 cores -> aggregate bytes = 16x.
     let sizes: [usize; 6] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
-    let mut headers = vec!["history entries/core".into(), "aggregate (paper-equiv MB)".into()];
+    let mut headers = vec![
+        "history entries/core".into(),
+        "aggregate (paper-equiv MB)".into(),
+    ];
     headers.extend(specs.iter().map(|s| s.name.clone()));
-    let mut t = TextTable::new(headers)
-        .with_title("Figure 5 (left): coverage vs history-buffer size");
+    let mut t =
+        TextTable::new(headers).with_title("Figure 5 (left): coverage vs history-buffer size");
     for &entries in &sizes {
-        let kind = PrefetcherKind::IdealTms { index_entries: None, history_entries: entries };
+        let kind = PrefetcherKind::IdealTms {
+            index_entries: None,
+            history_entries: entries,
+        };
         let results = run_suite(cfg, &specs, &kind);
         let aggregate_bytes = entries as u64 * 4 * cfg.system.cores as u64;
         let mut row = vec![
@@ -238,9 +248,10 @@ pub fn fig5_history_sweep(cfg: &ExperimentConfig) -> FigureResult {
     FigureResult {
         id: "fig5-left".into(),
         table: t,
-        notes: "commercial coverage should rise smoothly with history size; scientific coverage is \
+        notes:
+            "commercial coverage should rise smoothly with history size; scientific coverage is \
                 bimodal (near zero until the history holds a full iteration, then near full)"
-            .into(),
+                .into(),
     }
 }
 
@@ -283,25 +294,29 @@ pub fn fig6_left_stream_length_cdf(cfg: &ExperimentConfig) -> FigureResult {
     let sample_points: [u64; 5] = [1, 10, 100, 1000, 10000];
     let mut headers = vec!["workload".into()];
     headers.extend(sample_points.iter().map(|p| format!("<= {p}")));
-    let mut t = TextTable::new(headers).with_title(
-        "Figure 6 (left): cumulative % of streamed blocks vs temporal-stream length",
-    );
+    let mut t = TextTable::new(headers)
+        .with_title("Figure 6 (left): cumulative % of streamed blocks vs temporal-stream length");
     for spec in &specs {
         let seqs = collect_miss_sequences(cfg, spec);
         let analysis = analyze_streams_multi(&seqs);
         let cdf = analysis.blocks_by_length_cdf();
         let mut row = vec![spec.name.clone()];
         for &p in &sample_points {
-            row.push(if cdf.is_empty() { "n/a".into() } else { pct(cdf.fraction_at_or_below(p)) });
+            row.push(if cdf.is_empty() {
+                "n/a".into()
+            } else {
+                pct(cdf.fraction_at_or_below(p))
+            });
         }
         t.add_row(row);
     }
     FigureResult {
         id: "fig6-left".into(),
         table: t,
-        notes: "a sizable fraction of streamed blocks comes from streams of <= 10 blocks, but long \
+        notes:
+            "a sizable fraction of streamed blocks comes from streams of <= 10 blocks, but long \
                 streams (100+) carry much of the weight"
-            .into(),
+                .into(),
     }
 }
 
@@ -404,8 +419,10 @@ pub fn fig8_sampling_sweep(cfg: &ExperimentConfig) -> FigureResult {
     let mut t = TextTable::new(headers)
         .with_title("Figure 8: sensitivity to the update sampling probability");
     for spec in &specs {
-        let kinds: Vec<PrefetcherKind> =
-            probabilities.iter().map(|&p| PrefetcherKind::stms_with_sampling(p)).collect();
+        let kinds: Vec<PrefetcherKind> = probabilities
+            .iter()
+            .map(|&p| PrefetcherKind::stms_with_sampling(p))
+            .collect();
         let results = run_matched(cfg, spec, &kinds);
         let mut row = vec![spec.name.clone()];
         for r in &results {
@@ -516,7 +533,7 @@ mod tests {
         let csv = fig.table.to_csv();
         // Every design's total overhead is between 2 and 4 accesses per read.
         for line in csv.lines().skip(1) {
-            let total: f64 = line.split(',').last().unwrap().parse().unwrap();
+            let total: f64 = line.split(',').next_back().unwrap().parse().unwrap();
             assert!((2.0..=4.0).contains(&total), "total {total} out of range");
         }
     }
@@ -534,7 +551,7 @@ mod tests {
         assert_eq!(fig.table.row_count(), 8);
         let csv = fig.table.to_csv();
         for line in csv.lines().skip(1) {
-            let mlp: f64 = line.split(',').last().unwrap().parse().unwrap();
+            let mlp: f64 = line.split(',').next_back().unwrap().parse().unwrap();
             assert!((0.9..=4.0).contains(&mlp), "MLP {mlp} should be plausible");
         }
     }

@@ -33,7 +33,10 @@ pub enum PrefetcherKind {
 impl PrefetcherKind {
     /// An unbounded idealized TMS.
     pub fn ideal() -> Self {
-        PrefetcherKind::IdealTms { index_entries: None, history_entries: 1 << 22 }
+        PrefetcherKind::IdealTms {
+            index_entries: None,
+            history_entries: 1 << 22,
+        }
     }
 
     /// The default STMS design point at the given sampling probability.
@@ -45,8 +48,14 @@ impl PrefetcherKind {
     pub fn label(&self) -> String {
         match self {
             PrefetcherKind::Baseline => "baseline".to_string(),
-            PrefetcherKind::IdealTms { index_entries: None, .. } => "ideal-tms".to_string(),
-            PrefetcherKind::IdealTms { index_entries: Some(n), .. } => {
+            PrefetcherKind::IdealTms {
+                index_entries: None,
+                ..
+            } => "ideal-tms".to_string(),
+            PrefetcherKind::IdealTms {
+                index_entries: Some(n),
+                ..
+            } => {
                 format!("ideal-tms({n} entries)")
             }
             PrefetcherKind::Stms(cfg) => {
@@ -61,17 +70,21 @@ impl PrefetcherKind {
     pub fn build(&self, cores: usize) -> Box<dyn Prefetcher> {
         match self {
             PrefetcherKind::Baseline => Box::new(NullPrefetcher::new()),
-            PrefetcherKind::IdealTms { index_entries, history_entries } => {
-                Box::new(IdealTms::new(IdealTmsConfig {
-                    cores,
-                    history_entries_per_core: *history_entries,
-                    index_entries: *index_entries,
-                    chunk_size: 32,
-                }))
-            }
+            PrefetcherKind::IdealTms {
+                index_entries,
+                history_entries,
+            } => Box::new(IdealTms::new(IdealTmsConfig {
+                cores,
+                history_entries_per_core: *history_entries,
+                index_entries: *index_entries,
+                chunk_size: 32,
+            })),
             PrefetcherKind::Stms(cfg) => Box::new(Stms::new(StmsConfig { cores, ..*cfg })),
             PrefetcherKind::FixedDepth(cfg) => {
-                Box::new(FixedDepthPrefetcher::new(FixedDepthConfig { cores, ..*cfg }))
+                Box::new(FixedDepthPrefetcher::new(FixedDepthConfig {
+                    cores,
+                    ..*cfg
+                }))
             }
             PrefetcherKind::Markov(cfg) => {
                 Box::new(MarkovPrefetcher::new(MarkovConfig { cores, ..*cfg }))
@@ -109,17 +122,19 @@ pub fn run_suite(
     kind: &PrefetcherKind,
 ) -> Vec<SimResult> {
     let mut results: Vec<Option<SimResult>> = vec![None; specs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_workload(cfg, spec, kind))));
+            handles.push((i, scope.spawn(move || run_workload(cfg, spec, kind))));
         }
         for (i, handle) in handles {
             results[i] = Some(handle.join().expect("simulation thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().map(|r| r.expect("every workload produced a result")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every workload produced a result"))
+        .collect()
 }
 
 /// Runs several prefetcher configurations on the *same* generated trace of
@@ -132,17 +147,19 @@ pub fn run_matched(
     let trace = build_trace(cfg, spec);
     let trace_ref = &trace;
     let mut results: Vec<Option<SimResult>> = vec![None; kinds.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, kind) in kinds.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_trace(cfg, trace_ref, kind))));
+            handles.push((i, scope.spawn(move || run_trace(cfg, trace_ref, kind))));
         }
         for (i, handle) in handles {
             results[i] = Some(handle.join().expect("simulation thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().map(|r| r.expect("every kind produced a result")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every kind produced a result"))
+        .collect()
 }
 
 /// Captures the baseline off-chip read-miss sequence of each core for a
@@ -179,7 +196,11 @@ mod tests {
         assert_eq!(labels.len(), dedup.len());
         assert!(labels.iter().all(|l| !l.is_empty()));
         assert_eq!(
-            PrefetcherKind::IdealTms { index_entries: Some(100), history_entries: 10 }.label(),
+            PrefetcherKind::IdealTms {
+                index_entries: Some(100),
+                history_entries: 10
+            }
+            .label(),
             "ideal-tms(100 entries)"
         );
     }
@@ -231,7 +252,10 @@ mod tests {
         // is (approximately) the same.
         let base = results[0].base_read_misses() as f64;
         let ideal = results[1].base_read_misses() as f64;
-        assert!((base - ideal).abs() / base < 0.2, "base {base} vs ideal {ideal}");
+        assert!(
+            (base - ideal).abs() / base < 0.2,
+            "base {base} vs ideal {ideal}"
+        );
     }
 
     #[test]

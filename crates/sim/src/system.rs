@@ -46,7 +46,10 @@ impl ExperimentConfig {
     pub fn scaled() -> Self {
         ExperimentConfig {
             system: Self::scaled_system(),
-            sim: SimOptions { warmup_fraction: 0.3, ..SimOptions::default() },
+            sim: SimOptions {
+                warmup_fraction: 0.3,
+                ..SimOptions::default()
+            },
             accesses: 600_000,
         }
     }
@@ -54,7 +57,10 @@ impl ExperimentConfig {
     /// A fast campaign for tests and micro-benchmarks (shorter traces, same
     /// system).
     pub fn quick() -> Self {
-        ExperimentConfig { accesses: 60_000, ..Self::scaled() }
+        ExperimentConfig {
+            accesses: 60_000,
+            ..Self::scaled()
+        }
     }
 
     /// Returns a copy with a different trace length.

@@ -1,0 +1,40 @@
+//! Smoke test for the `stms-experiments` driver path: runs the same
+//! experiment functions the binary's `run_one` dispatches to, for the two
+//! cheapest representative targets (`fig4`, `table2`), under the quick
+//! configuration, and checks that each produces non-empty rendered output.
+
+use stms_sim::{experiments, ExperimentConfig};
+
+#[test]
+fn fig4_and_table2_render_under_quick_config() {
+    let cfg = ExperimentConfig::quick().with_accesses(20_000);
+
+    for (expected_id, result) in [
+        ("fig4", experiments::fig4_potential(&cfg)),
+        ("table2", experiments::table2_mlp(&cfg)),
+    ] {
+        assert_eq!(result.id, expected_id);
+        assert!(
+            result.table.row_count() > 0,
+            "{expected_id}: empty result table"
+        );
+
+        let rendered = result.render();
+        assert!(
+            !rendered.trim().is_empty(),
+            "{expected_id}: empty rendered output"
+        );
+        assert!(
+            rendered.contains(&result.notes),
+            "{expected_id}: rendered output must include the comparison notes"
+        );
+
+        // The CSV export the binary writes under --csv must be non-empty too:
+        // a header line plus one line per table row.
+        let csv = result.table.to_csv();
+        assert!(
+            csv.lines().count() > result.table.row_count(),
+            "{expected_id}: truncated csv"
+        );
+    }
+}

@@ -51,13 +51,29 @@ impl MatchedPair {
     ///
     /// Panics if the slices have different lengths.
     pub fn compare(baseline: &[f64], experiment: &[f64]) -> Self {
-        assert_eq!(baseline.len(), experiment.len(), "matched pairs need equal-length samples");
-        let diffs: Vec<f64> = experiment.iter().zip(baseline).map(|(e, b)| e - b).collect();
+        assert_eq!(
+            baseline.len(),
+            experiment.len(),
+            "matched pairs need equal-length samples"
+        );
+        let diffs: Vec<f64> = experiment
+            .iter()
+            .zip(baseline)
+            .map(|(e, b)| e - b)
+            .collect();
         let m = mean(&diffs);
         let sd = std_dev(&diffs);
         let n = diffs.len();
-        let half = if n > 1 { 1.96 * sd / (n as f64).sqrt() } else { 0.0 };
-        MatchedPair { mean_diff: m, ci95_half_width: half, pairs: n }
+        let half = if n > 1 {
+            1.96 * sd / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        MatchedPair {
+            mean_diff: m,
+            ci95_half_width: half,
+            pairs: n,
+        }
     }
 
     /// Whether the difference is statistically significant at 95%.

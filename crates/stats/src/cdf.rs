@@ -45,7 +45,10 @@ impl Cdf {
                 _ => points.push((value, cumulative)),
             }
         }
-        Cdf { points, total_weight: cumulative }
+        Cdf {
+            points,
+            total_weight: cumulative,
+        }
     }
 
     /// Whether the distribution has no samples.
@@ -94,7 +97,10 @@ impl Cdf {
     /// Samples the CDF at the given values, returning `(value, fraction)`
     /// pairs — convenient for plotting / table output.
     pub fn sample_at(&self, values: &[u64]) -> Vec<(u64, f64)> {
-        values.iter().map(|&v| (v, self.fraction_at_or_below(v))).collect()
+        values
+            .iter()
+            .map(|&v| (v, self.fraction_at_or_below(v)))
+            .collect()
     }
 }
 

@@ -95,7 +95,10 @@ pub fn analyze_streams(misses: &[LineAddr]) -> StreamAnalysis {
         }
         i += 1;
     }
-    StreamAnalysis { run_lengths, total_misses: misses.len() as u64 }
+    StreamAnalysis {
+        run_lengths,
+        total_misses: misses.len() as u64,
+    }
 }
 
 /// Analyzes and merges the miss sequences of several cores.
@@ -153,12 +156,19 @@ mod tests {
         // A appears with successors (2,3) then (7,8); the third occurrence
         // matches the most recent successors.
         let a = analyze_streams(&lines(&[1, 2, 3, 1, 7, 8, 1, 7, 8]));
-        assert!(a.run_lengths.contains(&2), "run lengths {:?}", a.run_lengths);
+        assert!(
+            a.run_lengths.contains(&2),
+            "run lengths {:?}",
+            a.run_lengths
+        );
     }
 
     #[test]
     fn cdf_weights_blocks_by_stream_length() {
-        let analysis = StreamAnalysis { run_lengths: vec![2, 100], total_misses: 200 };
+        let analysis = StreamAnalysis {
+            run_lengths: vec![2, 100],
+            total_misses: 200,
+        };
         let cdf = analysis.blocks_by_length_cdf();
         assert!((cdf.fraction_at_or_below(2) - 2.0 / 102.0).abs() < 1e-9);
         assert_eq!(cdf.fraction_at_or_below(100), 1.0);
@@ -166,10 +176,7 @@ mod tests {
 
     #[test]
     fn multi_core_merge() {
-        let per_core = vec![
-            lines(&[1, 2, 3, 1, 2, 3]),
-            lines(&[7, 8, 9, 10]),
-        ];
+        let per_core = vec![lines(&[1, 2, 3, 1, 2, 3]), lines(&[7, 8, 9, 10])];
         let a = analyze_streams_multi(&per_core);
         assert_eq!(a.total_misses, 10);
         assert_eq!(a.run_lengths, vec![2]);

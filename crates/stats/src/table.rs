@@ -29,7 +29,11 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        TextTable { headers, rows: Vec::new(), title: None }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title line printed above the table.
@@ -49,7 +53,11 @@ impl TextTable {
     ///
     /// Panics if the row has a different number of cells than the header.
     pub fn add_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(row);
     }
 
@@ -74,7 +82,15 @@ impl TextTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -91,9 +107,21 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -148,6 +176,6 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.5534), "55.3%");
         assert_eq!(pct(0.0), "0.0%");
-        assert_eq!(ratio(3.14159), "3.14");
+        assert_eq!(ratio(1.2345), "1.23");
     }
 }

@@ -6,9 +6,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccessKind {
     /// A data load.
+    #[default]
     Read,
     /// A data store.
     Write,
@@ -22,12 +23,6 @@ impl AccessKind {
     /// Whether this access reads data (loads and instruction fetches).
     pub fn is_read(self) -> bool {
         !matches!(self, AccessKind::Write)
-    }
-}
-
-impl Default for AccessKind {
-    fn default() -> Self {
-        AccessKind::Read
     }
 }
 
@@ -78,12 +73,24 @@ pub struct MemAccess {
 impl MemAccess {
     /// Creates a read access with no compute gap and no dependence.
     pub fn read(core: CoreId, line: LineAddr) -> Self {
-        MemAccess { core, line, kind: AccessKind::Read, compute_gap: 0, dependent: false }
+        MemAccess {
+            core,
+            line,
+            kind: AccessKind::Read,
+            compute_gap: 0,
+            dependent: false,
+        }
     }
 
     /// Creates a write access with no compute gap and no dependence.
     pub fn write(core: CoreId, line: LineAddr) -> Self {
-        MemAccess { core, line, kind: AccessKind::Write, compute_gap: 0, dependent: false }
+        MemAccess {
+            core,
+            line,
+            kind: AccessKind::Write,
+            compute_gap: 0,
+            dependent: false,
+        }
     }
 
     /// Sets the number of non-memory instructions preceding this access.

@@ -26,7 +26,9 @@ pub const CACHE_LINE_SHIFT: u32 = CACHE_LINE_BYTES.trailing_zeros();
 /// let a = PhysAddr::new(0x1234);
 /// assert_eq!(a.raw(), 0x1234);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -93,7 +95,9 @@ impl From<PhysAddr> for u64 {
 /// assert_eq!(line, LineAddr::new(2));
 /// assert_eq!(line.next(), LineAddr::new(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

@@ -16,7 +16,9 @@ use std::fmt;
 /// assert_eq!(cores.len(), 4);
 /// assert_eq!(cores[2].index(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CoreId(u16);
 
 impl CoreId {

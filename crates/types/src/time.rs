@@ -17,7 +17,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.raw(), 120);
 /// assert_eq!(t - Cycle::new(100), 20);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycle(u64);
 
 impl Cycle {

@@ -64,7 +64,10 @@ const TRACE_MAGIC: u32 = 0x53_54_4d_53; // "STMS"
 impl Trace {
     /// Creates an empty trace with the given metadata.
     pub fn new(meta: TraceMeta) -> Self {
-        Trace { meta, accesses: Vec::new() }
+        Trace {
+            meta,
+            accesses: Vec::new(),
+        }
     }
 
     /// Creates a trace from already-collected accesses.
@@ -104,19 +107,28 @@ impl Trace {
 
     /// Returns the accesses issued by one core, preserving order.
     pub fn per_core(&self, core: CoreId) -> Vec<MemAccess> {
-        self.accesses.iter().copied().filter(|a| a.core == core).collect()
+        self.accesses
+            .iter()
+            .copied()
+            .filter(|a| a.core == core)
+            .collect()
     }
 
     /// Total number of instructions represented by the trace (memory accesses
     /// plus compute gaps), used as the numerator of the throughput metric.
     pub fn instruction_count(&self) -> u64 {
         self.accesses.len() as u64
-            + self.accesses.iter().map(|a| a.compute_gap as u64).sum::<u64>()
+            + self
+                .accesses
+                .iter()
+                .map(|a| a.compute_gap as u64)
+                .sum::<u64>()
     }
 
     /// Encodes the trace into a compact binary representation.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + self.meta.workload.len() + self.accesses.len() * 16);
+        let mut buf =
+            BytesMut::with_capacity(32 + self.meta.workload.len() + self.accesses.len() * 16);
         buf.put_u32(TRACE_MAGIC);
         buf.put_u16(self.meta.workload.len() as u16);
         buf.put_slice(self.meta.workload.as_bytes());
@@ -160,8 +172,10 @@ impl Trace {
         need(data, 2, "missing name length")?;
         let name_len = data.get_u16() as usize;
         need(data, name_len, "truncated name")?;
-        let workload = String::from_utf8(data[..name_len].to_vec())
-            .map_err(|_| DecodeTraceError { what: "name not utf-8" })?;
+        let workload =
+            String::from_utf8(data[..name_len].to_vec()).map_err(|_| DecodeTraceError {
+                what: "name not utf-8",
+            })?;
         data.advance(name_len);
         need(data, 2 + 8 + 8 + 8, "truncated header")?;
         let cores = data.get_u16() as usize;
@@ -178,7 +192,11 @@ impl Trace {
                 0 => AccessKind::Read,
                 1 => AccessKind::Write,
                 2 => AccessKind::InstrFetch,
-                _ => return Err(DecodeTraceError { what: "invalid access kind" }),
+                _ => {
+                    return Err(DecodeTraceError {
+                        what: "invalid access kind",
+                    })
+                }
             };
             let compute_gap = data.get_u32();
             accesses.push(MemAccess {
@@ -190,7 +208,12 @@ impl Trace {
             });
         }
         Ok(Trace {
-            meta: TraceMeta { workload, cores, seed, footprint_lines },
+            meta: TraceMeta {
+                workload,
+                cores,
+                seed,
+                footprint_lines,
+            },
             accesses,
         })
     }
@@ -260,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // one explicit term per access's gap
     fn instruction_count_includes_gaps() {
         let t = sample_trace();
         assert_eq!(t.instruction_count(), 3 + 3 + 0 + 1);

@@ -36,7 +36,11 @@ impl LengthDist {
     /// scale `min` is `min * 2^(1/alpha)`; this constructor solves for `min`.
     pub fn pareto_with_median(median: u64, max: u64, alpha: f64) -> Self {
         let min = ((median as f64) / 2f64.powf(1.0 / alpha)).max(2.0).round() as u64;
-        LengthDist::Pareto { min, max: max.max(min + 1), alpha }
+        LengthDist::Pareto {
+            min,
+            max: max.max(min + 1),
+            alpha,
+        }
     }
 
     /// Draws one stream length.
@@ -67,8 +71,7 @@ impl LengthDist {
                 } else {
                     let la = l.powf(alpha);
                     let num = alpha * la / (alpha - 1.0);
-                    num * (l.powf(1.0 - alpha) - h.powf(1.0 - alpha))
-                        / (1.0 - (l / h).powf(alpha))
+                    num * (l.powf(1.0 - alpha) - h.powf(1.0 - alpha)) / (1.0 - (l / h).powf(alpha))
                 }
             }
         }
@@ -111,7 +114,11 @@ mod tests {
     #[test]
     fn pareto_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = LengthDist::Pareto { min: 2, max: 500, alpha: 1.2 };
+        let d = LengthDist::Pareto {
+            min: 2,
+            max: 500,
+            alpha: 1.2,
+        };
         for _ in 0..5000 {
             let x = d.sample(&mut rng);
             assert!((2..=500).contains(&x));
@@ -135,7 +142,11 @@ mod tests {
 
     #[test]
     fn pareto_mean_is_positive_and_above_min() {
-        let d = LengthDist::Pareto { min: 4, max: 1000, alpha: 1.3 };
+        let d = LengthDist::Pareto {
+            min: 4,
+            max: 1000,
+            alpha: 1.3,
+        };
         assert!(d.mean() > 4.0);
         assert!(d.mean() < 1000.0);
     }

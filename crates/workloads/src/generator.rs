@@ -6,9 +6,9 @@
 //! scan traffic, cache-resident hot data, pointer-dependence (MLP) and
 //! compute gaps.
 
+use crate::dist::sample_gap;
 use crate::pool::{SharedStream, StreamPool};
 use crate::spec::WorkloadSpec;
-use crate::dist::sample_gap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stms_types::{AccessKind, CoreId, LineAddr, MemAccess, Trace, TraceMeta};
@@ -90,9 +90,16 @@ impl TraceGenerator {
         TraceGenerator {
             spec: spec.clone(),
             rng: StdRng::seed_from_u64(spec.seed),
-            pools: (0..pool_count).map(|_| StreamPool::new(spec.max_pool_streams)).collect(),
+            pools: (0..pool_count)
+                .map(|_| StreamPool::new(spec.max_pool_streams))
+                .collect(),
             activities: vec![Activity::Idle; spec.cores],
-            phases: vec![Phase::Cold { remaining: COLD_BURST_LEN }; spec.cores],
+            phases: vec![
+                Phase::Cold {
+                    remaining: COLD_BURST_LEN
+                };
+                spec.cores
+            ],
             fresh_counter: 0,
             scan_counter: 0,
         }
@@ -170,9 +177,15 @@ impl TraceGenerator {
             let run = self.spec.scan_run.max(1);
             if run == 1 {
                 // A single cold access, emitted immediately as a 1-element scan.
-                return Activity::Scan { next: self.fresh_line(), remaining: 1 };
+                return Activity::Scan {
+                    next: self.fresh_line(),
+                    remaining: 1,
+                };
             }
-            return Activity::Scan { next: self.fresh_scan_run(run), remaining: run };
+            return Activity::Scan {
+                next: self.fresh_scan_run(run),
+                remaining: run,
+            };
         }
         let pool = self.pool_index(core);
         let recur =
@@ -182,7 +195,9 @@ impl TraceGenerator {
             // back in time, so most of them have aged out of the caches and
             // show up in the off-chip miss stream (where temporal streaming
             // can cover them).
-            self.pools[pool].pick(&mut self.rng).expect("pool checked non-empty")
+            self.pools[pool]
+                .pick(&mut self.rng)
+                .expect("pool checked non-empty")
         } else {
             self.new_stream(core)
         };
@@ -204,9 +219,13 @@ impl TraceGenerator {
         match self.phases[core_idx] {
             Phase::Hot { remaining } => {
                 self.phases[core_idx] = if remaining <= 1 {
-                    Phase::Cold { remaining: COLD_BURST_LEN }
+                    Phase::Cold {
+                        remaining: COLD_BURST_LEN,
+                    }
                 } else {
-                    Phase::Hot { remaining: remaining - 1 }
+                    Phase::Hot {
+                        remaining: remaining - 1,
+                    }
                 };
                 let line = LineAddr::new(self.rng.gen_range(0..self.spec.hot_lines.max(1)));
                 let dependent = self.rng.gen_range(0.0..1.0) < self.spec.p_dependent;
@@ -216,12 +235,16 @@ impl TraceGenerator {
                 self.phases[core_idx] = if remaining <= 1 {
                     let hot_len = self.sample_hot_phase_len();
                     if hot_len == 0 {
-                        Phase::Cold { remaining: COLD_BURST_LEN }
+                        Phase::Cold {
+                            remaining: COLD_BURST_LEN,
+                        }
                     } else {
                         Phase::Hot { remaining: hot_len }
                     }
                 } else {
-                    Phase::Cold { remaining: remaining - 1 }
+                    Phase::Cold {
+                        remaining: remaining - 1,
+                    }
                 };
             }
         }
@@ -239,7 +262,10 @@ impl TraceGenerator {
                 let next = if diverge || next_pos >= stream.len() {
                     Activity::Idle
                 } else {
-                    Activity::Stream { stream, pos: next_pos }
+                    Activity::Stream {
+                        stream,
+                        pos: next_pos,
+                    }
                 };
                 (line, next)
             }
@@ -248,7 +274,10 @@ impl TraceGenerator {
                 let next_activity = if remaining <= 1 {
                     Activity::Idle
                 } else {
-                    Activity::Scan { next: next.next(), remaining: remaining - 1 }
+                    Activity::Scan {
+                        next: next.next(),
+                        remaining: remaining - 1,
+                    }
                 };
                 (line, next_activity)
             }
@@ -275,7 +304,13 @@ impl TraceGenerator {
         } else {
             AccessKind::Read
         };
-        MemAccess { core, line, kind, compute_gap: gap, dependent }
+        MemAccess {
+            core,
+            line,
+            kind,
+            compute_gap: gap,
+            dependent,
+        }
     }
 }
 
@@ -298,7 +333,11 @@ mod tests {
             cores: 4,
             accesses: 40_000,
             p_repeat: 0.6,
-            stream_len: LengthDist::Pareto { min: 4, max: 200, alpha: 1.2 },
+            stream_len: LengthDist::Pareto {
+                min: 4,
+                max: 200,
+                alpha: 1.2,
+            },
             max_pool_streams: 200,
             shared_pool: true,
             p_noise: 0.1,
@@ -366,7 +405,10 @@ mod tests {
         }
         let repeated = counts.values().filter(|&&c| c >= 2).count();
         let frac = repeated as f64 / counts.len().max(1) as f64;
-        assert!(frac > 0.3, "a repeating workload should revisit lines, got {frac}");
+        assert!(
+            frac > 0.3,
+            "a repeating workload should revisit lines, got {frac}"
+        );
     }
 
     #[test]
@@ -381,7 +423,10 @@ mod tests {
         }
         let repeated = counts.values().filter(|&&c| c >= 2).count();
         let frac = repeated as f64 / counts.len().max(1) as f64;
-        assert!(frac < 0.02, "non-repeating workload revisits {frac} of lines");
+        assert!(
+            frac < 0.02,
+            "non-repeating workload revisits {frac} of lines"
+        );
     }
 
     #[test]
@@ -400,7 +445,10 @@ mod tests {
         let cold: Vec<_> = t.iter().filter(|a| a.line.raw() >= FRESH_BASE).collect();
         let dep = cold.iter().filter(|a| a.dependent).count();
         let frac = dep as f64 / cold.len() as f64;
-        assert!((frac - spec.p_dependent).abs() < 0.07, "dependent fraction {frac}");
+        assert!(
+            (frac - spec.p_dependent).abs() < 0.07,
+            "dependent fraction {frac}"
+        );
     }
 
     #[test]
@@ -418,7 +466,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[1].line.raw() == w[0].line.raw() + 1)
             .count();
-        assert!(unit_steps > 800, "scan workload should be mostly sequential, got {unit_steps}");
+        assert!(
+            unit_steps > 800,
+            "scan workload should be mostly sequential, got {unit_steps}"
+        );
     }
 
     #[test]
@@ -426,7 +477,7 @@ mod tests {
         let mut g = TraceGenerator::new(&test_spec());
         for _ in 0..10_000 {
             let l = g.fresh_line().raw();
-            assert!(l >= FRESH_BASE && l < SCAN_BASE);
+            assert!((FRESH_BASE..SCAN_BASE).contains(&l));
         }
     }
 

@@ -46,7 +46,11 @@ impl StreamPool {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "stream pool capacity must be non-zero");
-        StreamPool { streams: VecDeque::with_capacity(capacity.min(4096)), capacity, total_blocks: 0 }
+        StreamPool {
+            streams: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_blocks: 0,
+        }
     }
 
     /// Number of streams currently retained.
@@ -141,7 +145,11 @@ mod tests {
         pool.add(lines(&[5, 6]));
         pool.add(lines(&[7]));
         assert_eq!(pool.len(), 2);
-        assert_eq!(pool.total_blocks(), 3, "blocks of the evicted stream are not counted");
+        assert_eq!(
+            pool.total_blocks(),
+            3,
+            "blocks of the evicted stream are not counted"
+        );
     }
 
     #[test]
@@ -158,7 +166,10 @@ mod tests {
                 newer += 1;
             }
         }
-        assert!(newer > 1200, "recent-biased picks should favour newer streams, got {newer}/2000");
+        assert!(
+            newer > 1200,
+            "recent-biased picks should favour newer streams, got {newer}/2000"
+        );
     }
 
     #[test]

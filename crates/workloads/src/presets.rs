@@ -223,7 +223,13 @@ pub fn paper_figure_suite() -> Vec<WorkloadSpec> {
 /// The commercial workloads only (Web + OLTP + DSS), used by Figure 1 and
 /// Figure 6 (left).
 pub fn commercial_suite() -> Vec<WorkloadSpec> {
-    vec![web_apache(), web_zeus(), oltp_db2(), oltp_oracle(), dss_qry17()]
+    vec![
+        web_apache(),
+        web_zeus(),
+        oltp_db2(),
+        oltp_oracle(),
+        dss_qry17(),
+    ]
 }
 
 /// Every preset defined by this crate (including both DSS queries of
@@ -283,7 +289,11 @@ mod tests {
         for spec in [sci_em3d(), sci_moldyn(), sci_ocean()] {
             assert_eq!(spec.max_pool_streams, 1, "{}", spec.name);
             assert_eq!(spec.p_repeat, 1.0, "{}", spec.name);
-            assert!(matches!(spec.stream_len, LengthDist::Fixed(_)), "{}", spec.name);
+            assert!(
+                matches!(spec.stream_len, LengthDist::Fixed(_)),
+                "{}",
+                spec.name
+            );
         }
     }
 

@@ -10,9 +10,9 @@
 //! This is the workflow for answering "is my workload's miss stream temporal
 //! enough for an address-correlating prefetcher?".
 
+use stms::sim::collect_miss_sequences;
 use stms::sim::{run_matched, ExperimentConfig, PrefetcherKind};
 use stms::stats::{analyze_streams_multi, pct};
-use stms::sim::collect_miss_sequences;
 use stms::workloads::{LengthDist, WorkloadClass, WorkloadSpec};
 
 fn kv_store() -> WorkloadSpec {
@@ -72,7 +72,11 @@ fn main() {
         let results = run_matched(
             &cfg,
             &spec,
-            &[PrefetcherKind::Baseline, PrefetcherKind::ideal(), PrefetcherKind::stms_with_sampling(0.125)],
+            &[
+                PrefetcherKind::Baseline,
+                PrefetcherKind::ideal(),
+                PrefetcherKind::stms_with_sampling(0.125),
+            ],
         );
         let (base, ideal, stms) = (&results[0], &results[1], &results[2]);
         println!(

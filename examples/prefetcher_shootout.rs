@@ -19,11 +19,17 @@ use stms::workloads::presets;
 fn main() {
     let cfg = ExperimentConfig::scaled();
     let spec = presets::web_apache();
-    println!("simulating {} with every prefetcher family (this takes a few seconds)...\n", spec.name);
+    println!(
+        "simulating {} with every prefetcher family (this takes a few seconds)...\n",
+        spec.name
+    );
 
     let kinds = vec![
         PrefetcherKind::Baseline,
-        PrefetcherKind::Markov(MarkovConfig { cores: cfg.system.cores, ..Default::default() }),
+        PrefetcherKind::Markov(MarkovConfig {
+            cores: cfg.system.cores,
+            ..Default::default()
+        }),
         PrefetcherKind::FixedDepth(FixedDepthConfig::ebcp_like(cfg.system.cores)),
         PrefetcherKind::ideal(),
         PrefetcherKind::stms_with_sampling(0.125),
@@ -41,7 +47,13 @@ fn main() {
     ])
     .with_title(format!("Prefetcher comparison on {}", spec.name));
 
-    let on_chip = ["none", "512 KB table", "8 MB table", "impractical (>=64 MB)", "2 KB/core + 8 KB"];
+    let on_chip = [
+        "none",
+        "512 KB table",
+        "8 MB table",
+        "impractical (>=64 MB)",
+        "2 KB/core + 8 KB",
+    ];
     for ((kind, result), chip) in kinds.iter().zip(&results).zip(on_chip) {
         table.add_row(vec![
             kind.label(),

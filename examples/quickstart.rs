@@ -28,7 +28,10 @@ fn report(label: &str, result: &SimResult, baseline: &SimResult) {
 fn main() {
     // 1. Pick a workload model and generate its access trace.
     let spec = presets::oltp_db2();
-    println!("generating {} trace ({} accesses over {} cores)...", spec.name, spec.accesses, spec.cores);
+    println!(
+        "generating {} trace ({} accesses over {} cores)...",
+        spec.name, spec.accesses, spec.cores
+    );
     let trace = generate(&spec);
 
     // 2. The scaled system model (paper Table 1, capacities scaled to the
@@ -36,19 +39,28 @@ fn main() {
     let cfg = ExperimentConfig::scaled();
 
     // 3. Baseline: stride prefetcher only.
-    let baseline =
-        CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut NullPrefetcher::new());
+    let baseline = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut NullPrefetcher::new());
 
     // 4. Idealized temporal memory streaming (magic on-chip meta-data).
-    let mut ideal = IdealTms::new(IdealTmsConfig { cores: cfg.system.cores, ..Default::default() });
+    let mut ideal = IdealTms::new(IdealTmsConfig {
+        cores: cfg.system.cores,
+        ..Default::default()
+    });
     let ideal_result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut ideal);
 
     // 5. Practical STMS: off-chip meta-data, hash-based lookup, 12.5% update
     //    sampling.
-    let mut stms = Stms::new(StmsConfig { cores: cfg.system.cores, ..StmsConfig::scaled_default() });
+    let mut stms = Stms::new(StmsConfig {
+        cores: cfg.system.cores,
+        ..StmsConfig::scaled_default()
+    });
     let stms_result = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut stms);
 
-    println!("\nresults for {} (baseline IPC {:.2}):", spec.name, baseline.ipc());
+    println!(
+        "\nresults for {} (baseline IPC {:.2}):",
+        spec.name,
+        baseline.ipc()
+    );
     report("baseline", &baseline, &baseline);
     report("ideal TMS", &ideal_result, &baseline);
     report("STMS", &stms_result, &baseline);

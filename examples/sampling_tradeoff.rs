@@ -23,8 +23,10 @@ fn main() {
         probabilities.len()
     );
 
-    let kinds: Vec<PrefetcherKind> =
-        probabilities.iter().map(|&p| PrefetcherKind::stms_with_sampling(p)).collect();
+    let kinds: Vec<PrefetcherKind> = probabilities
+        .iter()
+        .map(|&p| PrefetcherKind::stms_with_sampling(p))
+        .collect();
     let results = run_matched(&cfg, &spec, &kinds);
 
     let mut table = TextTable::new(vec![

@@ -56,7 +56,12 @@ fn accounting_identities_hold_for_every_prefetcher() {
             + r.covered_partial
             + r.uncovered_misses
             + r.write_misses;
-        assert_eq!(classified, r.accesses, "classification mismatch for {}", kind.label());
+        assert_eq!(
+            classified,
+            r.accesses,
+            "classification mismatch for {}",
+            kind.label()
+        );
         // Coverage and accuracy are proper fractions.
         assert!((0.0..=1.0).contains(&r.coverage()), "{}", kind.label());
         assert!((0.0..=1.0).contains(&r.accuracy()), "{}", kind.label());
@@ -80,7 +85,11 @@ fn baseline_never_prefetches_and_stride_only_traffic() {
     let r = run(&PrefetcherKind::Baseline);
     assert_eq!(r.prefetches_issued, 0);
     assert_eq!(r.coverage(), 0.0);
-    assert_eq!(r.traffic.meta_total(), 0, "no temporal meta-data traffic in the baseline");
+    assert_eq!(
+        r.traffic.meta_total(),
+        0,
+        "no temporal meta-data traffic in the baseline"
+    );
     assert_eq!(r.traffic.prefetch_data, 0);
     assert!(r.traffic.demand_fill > 0);
 }
@@ -90,10 +99,18 @@ fn temporal_prefetchers_cover_the_repetitive_workload() {
     let results = run_matched(
         &cfg(),
         &test_spec(),
-        &[PrefetcherKind::Baseline, PrefetcherKind::ideal(), PrefetcherKind::stms_with_sampling(1.0)],
+        &[
+            PrefetcherKind::Baseline,
+            PrefetcherKind::ideal(),
+            PrefetcherKind::stms_with_sampling(1.0),
+        ],
     );
     let (base, ideal, stms_full) = (&results[0], &results[1], &results[2]);
-    assert!(ideal.coverage() > 0.3, "ideal coverage {}", ideal.coverage());
+    assert!(
+        ideal.coverage() > 0.3,
+        "ideal coverage {}",
+        ideal.coverage()
+    );
     assert!(ideal.speedup_over(base) > 0.0);
     // With 100% sampling STMS should reach most of the idealized coverage.
     assert!(
@@ -113,7 +130,10 @@ fn probabilistic_update_trades_little_coverage_for_much_less_traffic() {
     let results = run_matched(
         &cfg(),
         &test_spec(),
-        &[PrefetcherKind::stms_with_sampling(1.0), PrefetcherKind::stms_with_sampling(0.125)],
+        &[
+            PrefetcherKind::stms_with_sampling(1.0),
+            PrefetcherKind::stms_with_sampling(0.125),
+        ],
     );
     let (full, sampled) = (&results[0], &results[1]);
     let update_reduction =
@@ -140,7 +160,10 @@ fn offline_stream_analysis_bounds_are_consistent() {
     let analysis = analyze_streams_multi(&collector.all_cores());
     assert!(analysis.total_misses > 1_000);
     assert!(analysis.streamed_blocks() <= analysis.total_misses);
-    assert!(analysis.max_coverage() > 0.0, "the repetitive workload must show temporal streams");
+    assert!(
+        analysis.max_coverage() > 0.0,
+        "the repetitive workload must show temporal streams"
+    );
     let cdf = analysis.blocks_by_length_cdf();
     assert!(cdf.fraction_at_or_below(u64::MAX >> 1) >= 0.999);
 }
@@ -158,10 +181,17 @@ fn direct_library_use_without_the_driver() {
     // the individual crates without going through stms-sim.
     let trace = generate(&test_spec());
     let system = stms::mem::SystemConfig::tiny_for_tests();
-    let baseline = CmpSimulator::new(&system, Default::default()).run(&trace, &mut NullPrefetcher::new());
-    let mut ideal = IdealTms::new(IdealTmsConfig { cores: system.cores, ..Default::default() });
+    let baseline =
+        CmpSimulator::new(&system, Default::default()).run(&trace, &mut NullPrefetcher::new());
+    let mut ideal = IdealTms::new(IdealTmsConfig {
+        cores: system.cores,
+        ..Default::default()
+    });
     let ideal_res = CmpSimulator::new(&system, Default::default()).run(&trace, &mut ideal);
-    let mut stms = Stms::new(StmsConfig { cores: system.cores, ..StmsConfig::scaled_default() });
+    let mut stms = Stms::new(StmsConfig {
+        cores: system.cores,
+        ..StmsConfig::scaled_default()
+    });
     let stms_res = CmpSimulator::new(&system, Default::default()).run(&trace, &mut stms);
 
     assert!(ideal_res.coverage() > 0.0);

@@ -11,16 +11,16 @@ use stms::workloads::{generate, LengthDist, WorkloadClass, WorkloadSpec};
 /// Builds an arbitrary (but small) workload specification.
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        0.0f64..1.0,   // p_repeat
-        0.0f64..0.6,   // p_noise
-        0.0f64..0.9,   // hot_fraction
-        0.0f64..1.0,   // p_dependent
-        2u64..40,      // stream length median
-        1u64..64,      // scan run
-        any::<u64>(),  // seed
+        0.0f64..1.0,  // p_repeat
+        0.0f64..0.6,  // p_noise
+        0.0f64..0.9,  // hot_fraction
+        0.0f64..1.0,  // p_dependent
+        2u64..40,     // stream length median
+        1u64..64,     // scan run
+        any::<u64>(), // seed
     )
-        .prop_map(|(p_repeat, p_noise, hot_fraction, p_dependent, median, scan_run, seed)| {
-            WorkloadSpec {
+        .prop_map(
+            |(p_repeat, p_noise, hot_fraction, p_dependent, median, scan_run, seed)| WorkloadSpec {
                 name: "prop".into(),
                 class: WorkloadClass::Web,
                 cores: 2,
@@ -38,8 +38,8 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
                 p_divergence: 0.02,
                 p_write: 0.1,
                 seed,
-            }
-        })
+            },
+        )
 }
 
 fn system() -> SystemConfig {
@@ -47,19 +47,29 @@ fn system() -> SystemConfig {
 }
 
 fn options() -> SimOptions {
-    SimOptions { warmup_fraction: 0.1, ..SimOptions::default() }
+    SimOptions {
+        warmup_fraction: 0.1,
+        ..SimOptions::default()
+    }
 }
 
 fn check_result_invariants(r: &SimResult) {
-    let classified =
-        r.l1_hits + r.l2_hits + r.covered_full + r.covered_partial + r.uncovered_misses + r.write_misses;
-    assert_eq!(classified, r.accesses, "every access is classified exactly once");
+    let classified = r.l1_hits
+        + r.l2_hits
+        + r.covered_full
+        + r.covered_partial
+        + r.uncovered_misses
+        + r.write_misses;
+    assert_eq!(
+        classified, r.accesses,
+        "every access is classified exactly once"
+    );
     assert!(r.coverage() >= 0.0 && r.coverage() <= 1.0);
     assert!(r.accuracy() >= 0.0 && r.accuracy() <= 1.0);
     assert!(r.mlp() >= 1.0);
     assert_eq!(r.prefetches_used, r.covered_full + r.covered_partial);
     assert!(r.prefetches_used <= r.prefetches_issued);
-    assert!(r.instructions >= r.accesses as u64);
+    assert!(r.instructions >= r.accesses);
     // Traffic sanity: every uncovered miss and every issued prefetch moved a
     // 64-byte line.
     assert!(r.traffic.demand_fill >= r.uncovered_misses * 64);
