@@ -1,0 +1,51 @@
+//! Benchmarks of the campaign orchestration layer: trace-store hit path vs
+//! regeneration, and job-pool scheduling overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stms_bench::bench_workload;
+use stms_sim::campaign::{JobPool, TraceStore};
+use stms_workloads::generate;
+
+const ACCESSES: usize = 30_000;
+
+fn bench_trace_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_store");
+    group.sample_size(10);
+
+    // The cost the store removes: regenerating the trace for every figure
+    // cell that wants it.
+    group.bench_function("cold_generate", |b| {
+        b.iter(|| black_box(generate(&bench_workload().with_accesses(ACCESSES)).len()))
+    });
+
+    // The cost the store adds: one map lookup and an Arc clone.
+    let store = TraceStore::new();
+    store.get_or_generate(&bench_workload(), ACCESSES);
+    group.bench_function("warm_fetch", |b| {
+        b.iter(|| black_box(store.get_or_generate(&bench_workload(), ACCESSES).len()))
+    });
+    group.finish();
+}
+
+fn bench_job_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("job_pool");
+    group.sample_size(10);
+
+    // Pure scheduling overhead: a batch of trivial jobs per iteration.
+    let pool = JobPool::new(2);
+    group.bench_function("batch_of_64_trivial_jobs", |b| {
+        b.iter(|| {
+            let tasks: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+            let sum: i64 = pool
+                .run_batch(tasks)
+                .into_iter()
+                .map(|r| r.expect("trivial job"))
+                .sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_store, bench_job_pool);
+criterion_main!(benches);

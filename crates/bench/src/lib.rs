@@ -11,7 +11,9 @@
 //! * `cache_hierarchy` — set-associative cache accesses and end-to-end
 //!   engine throughput (accesses simulated per second);
 //! * `figures` — miniature versions of each paper experiment (Table 2 and
-//!   Figures 4–9 style runs) so regressions in the full pipeline are caught.
+//!   Figures 4–9 style runs) so regressions in the full pipeline are caught;
+//! * `campaign` — the orchestration layer: trace-store warm fetch vs cold
+//!   regeneration, and job-pool batch scheduling overhead.
 
 #![warn(missing_docs)]
 

@@ -34,6 +34,7 @@ use crate::result::SimResult;
 use crate::stream::{PrefetchBuffer, StreamState};
 use crate::stride::StridePrefetcher;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use stms_types::{AccessKind, Cycle, LineAddr, MemAccess, Trace};
 
 /// Tunables of the simulation engine that are not part of the system model.
@@ -60,6 +61,77 @@ impl Default for SimOptions {
             refill_threshold: 8,
             warmup_fraction: 0.2,
         }
+    }
+}
+
+/// Error describing why a [`SimOptions`] value is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidSimOptions(String);
+
+impl fmt::Display for InvalidSimOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulation options: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidSimOptions {}
+
+impl SimOptions {
+    /// Fallible builder: these options with the given warm-up fraction,
+    /// validated. This is the construction path for values coming from
+    /// untrusted sources — the `stms-experiments` CLI routes `--warmup`
+    /// through it before any simulation starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSimOptions`] under the same conditions as
+    /// [`SimOptions::validate`].
+    pub fn try_with_warmup(self, warmup_fraction: f64) -> Result<Self, InvalidSimOptions> {
+        let opts = SimOptions {
+            warmup_fraction,
+            ..self
+        };
+        opts.validate()?;
+        Ok(opts)
+    }
+
+    /// Checks that every option is in its meaningful range.
+    ///
+    /// The engine itself assumes these invariants: a zero-capacity prefetch
+    /// buffer silently drops every prefetched line, a zero refill threshold
+    /// never asks the prefetcher for addresses, and a warm-up fraction at or
+    /// above `1.0` leaves no measured region (division by zero in the final
+    /// metrics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSimOptions`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), InvalidSimOptions> {
+        if !self.warmup_fraction.is_finite() || !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err(InvalidSimOptions(format!(
+                "warmup_fraction must be in [0, 1), got {}",
+                self.warmup_fraction
+            )));
+        }
+        if self.prefetch_buffer_lines == 0 {
+            return Err(InvalidSimOptions(
+                "prefetch_buffer_lines must be non-zero (a zero-capacity buffer drops every \
+                 prefetch)"
+                    .into(),
+            ));
+        }
+        if self.refill_threshold == 0 {
+            return Err(InvalidSimOptions(
+                "refill_threshold must be non-zero (the engine would never request addresses)"
+                    .into(),
+            ));
+        }
+        if self.stream_lookahead == 0 {
+            return Err(InvalidSimOptions(
+                "stream_lookahead must be non-zero (no prefetch could ever be in flight)".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -566,6 +638,46 @@ mod tests {
             warmup_fraction: 0.0,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn sim_options_validation_rejects_out_of_range_fields() {
+        assert!(SimOptions::default().validate().is_ok());
+        assert!(SimOptions::default().try_with_warmup(0.0).is_ok());
+        let kept = SimOptions {
+            stream_lookahead: 7,
+            ..Default::default()
+        }
+        .try_with_warmup(0.999)
+        .expect("valid warm-up");
+        assert_eq!(kept.stream_lookahead, 7, "other fields pass through");
+        assert_eq!(kept.warmup_fraction, 0.999);
+
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = SimOptions::default().try_with_warmup(bad).unwrap_err();
+            assert!(err.to_string().contains("warmup_fraction"), "{err}");
+        }
+        let err = SimOptions {
+            prefetch_buffer_lines: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("prefetch_buffer_lines"), "{err}");
+        let err = SimOptions {
+            refill_threshold: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("refill_threshold"), "{err}");
+        let err = SimOptions {
+            stream_lookahead: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("stream_lookahead"), "{err}");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod stride;
 pub use cache::{CacheOutcome, CacheStats, Eviction, SetAssocCache};
 pub use config::{CacheConfig, CoreConfig, DramConfig, StrideConfig, SystemConfig};
 pub use dram::{DramModel, TrafficClass, TrafficStats};
-pub use engine::{CmpSimulator, SimOptions};
+pub use engine::{CmpSimulator, InvalidSimOptions, SimOptions};
 pub use mshr::{MshrEntry, MshrFile};
 pub use prefetcher::{NullPrefetcher, Prefetcher, StreamChunk};
 pub use result::{OverheadBreakdown, SimResult};

@@ -1,0 +1,682 @@
+//! Offline stand-in for the real `serde_json` crate.
+//!
+//! The workspace builds without network access, so the registry version is
+//! unavailable. The experiment pipeline only needs the *self-describing*
+//! subset of serde_json — build a [`Value`], serialize it, parse it back —
+//! not the generic `Serialize`/`Deserialize` bridge, so this shim provides:
+//!
+//! * [`Value`] with the six JSON kinds and the usual accessors
+//!   (`get`, `as_str`, `as_f64`, `as_u64`, `as_array`, `as_object`, …);
+//! * [`to_string`] / [`to_string_pretty`] emitting strict RFC 8259 output
+//!   (escaped strings, no trailing commas, `null` for non-finite numbers);
+//! * [`from_str`] — a strict recursive-descent parser rejecting trailing
+//!   garbage, unterminated strings, bad escapes and over-deep nesting.
+//!
+//! Object member order is preserved (insertion order), matching what the
+//! real crate does with its `preserve_order` feature. Swap the real crate
+//! back in via `[workspace.dependencies]` once a registry is reachable;
+//! `Value`-based call sites keep working unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use serde_json::{from_str, to_string, Value};
+//!
+//! let v = Value::Array(vec![Value::from("hi"), Value::from(2.5), Value::Null]);
+//! let text = to_string(&v);
+//! assert_eq!(text, r#"["hi",2.5,null]"#);
+//! assert_eq!(from_str(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// Maximum accepted nesting depth when parsing (arrays/objects).
+const MAX_DEPTH: usize = 128;
+
+/// A parsed or to-be-serialized JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like `serde_json`'s arbitrary
+    /// numbers would coerce for the value sizes this workspace emits).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element of an array by index.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; the real crate errors on them when they
+        // sneak in as raw f64s. Emitting null keeps the output parseable.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * level), " ".repeat(w * (level + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serializes a value to pretty (2-space indented) JSON.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+/// Error produced by [`from_str`], with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    what: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, what: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            what: what.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.err(format!("unexpected byte 0x{other:02x}")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require the paired escape.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return self.err("unpaired surrogate");
+                                    }
+                                    let combined =
+                                        0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    return self.err("unpaired surrogate");
+                                }
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        other => return self.err(format!("invalid escape `\\{}`", other as char)),
+                    }
+                }
+                b if b < 0x20 => return self.err("raw control character in string"),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte slice.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return self.err("invalid utf-8"),
+                    };
+                    if start + len > self.bytes.len() {
+                        return self.err("truncated utf-8");
+                    }
+                    match std::str::from_utf8(&self.bytes[start..start + len]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = start + len;
+                        }
+                        Err(_) => return self.err("invalid utf-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated unicode escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => self.err("invalid unicode escape"),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return self.err("expected exponent digits");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => self.err("number out of range"),
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] on any syntax violation, including trailing non-space
+/// bytes after the top-level value.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(members: &[(&str, Value)]) -> Value {
+        Value::Object(
+            members
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn serializes_every_kind() {
+        let v = obj(&[
+            ("null", Value::Null),
+            ("flag", Value::Bool(true)),
+            ("int", Value::from(42u64)),
+            ("float", Value::from(2.5)),
+            ("text", Value::from("a\"b\\c\n")),
+            ("list", Value::from(vec![1u64, 2])),
+            ("empty_list", Value::Array(vec![])),
+            ("empty_obj", Value::Object(vec![])),
+        ]);
+        let s = to_string(&v);
+        assert_eq!(
+            s,
+            r#"{"null":null,"flag":true,"int":42,"float":2.5,"text":"a\"b\\c\n","list":[1,2],"empty_list":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = obj(&[
+            ("id", Value::from("fig4")),
+            ("rows", Value::Array(vec![Value::from(vec!["a", "b"])])),
+            ("nested", obj(&[("x", Value::from(1.25))])),
+        ]);
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = from_str(r#""a\u00e9\u2603 \ud83d\ude00 b\t""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "aé☃ 😀 b\t");
+        // Serializer keeps non-ASCII as raw UTF-8, which must re-parse.
+        let round = from_str(&to_string(&v)).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn parses_numbers() {
+        for (text, expect) in [
+            ("0", 0.0),
+            ("-12", -12.0),
+            ("3.5", 3.5),
+            ("1e3", 1000.0),
+            ("2.5E-1", 0.25),
+        ] {
+            assert_eq!(from_str(text).unwrap().as_f64().unwrap(), expect, "{text}");
+        }
+        assert_eq!(from_str("7").unwrap().as_u64(), Some(7));
+        assert_eq!(from_str("7.5").unwrap().as_u64(), None);
+        assert_eq!(from_str("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "tru",
+            "1 2",
+            "nul",
+            "[1] x",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_navigate_structures() {
+        let v = from_str(r#"{"a":[1,{"b":"c"}],"d":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().index(0).unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("a")
+                .unwrap()
+                .index(1)
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+        assert!(v.as_object().is_some());
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+}

@@ -78,7 +78,17 @@ fn dram() -> DramModel {
 /// first looked up and then inserted in each organization (mimicking the
 /// lookup-then-record flow of the prefetcher at 100% update sampling).
 pub fn index_organization_ablation(cfg: &ExperimentConfig, spec: &WorkloadSpec) -> IndexAblation {
-    let per_core = collect_miss_sequences(cfg, spec);
+    index_organization_ablation_from(&spec.name, &collect_miss_sequences(cfg, spec))
+}
+
+/// The pure analysis stage of [`index_organization_ablation`]: replays
+/// already-captured per-core miss sequences against each index organization.
+/// Campaign plans use this form so the expensive capture runs as a pooled
+/// job against the shared trace store.
+pub fn index_organization_ablation_from(
+    workload: &str,
+    per_core: &[Vec<LineAddr>],
+) -> IndexAblation {
     // Rebuild a single interleaved sequence (round-robin over cores keeps the
     // per-core orders intact, which is all the index cares about).
     let mut misses: Vec<(CoreId, LineAddr, u64)> = Vec::new();
@@ -171,7 +181,7 @@ pub fn index_organization_ablation(cfg: &ExperimentConfig, spec: &WorkloadSpec) 
         },
     ];
     IndexAblation {
-        workload: spec.name.clone(),
+        workload: workload.to_string(),
         misses: misses.len(),
         rows,
     }

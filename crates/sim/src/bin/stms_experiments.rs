@@ -1,121 +1,238 @@
-//! Command-line driver that regenerates every table and figure of the paper.
+//! Command-line driver that regenerates every table and figure of the paper
+//! through one shared campaign (cached traces, bounded job pool).
 //!
 //! ```text
-//! stms-experiments [--quick] [--accesses N] [--csv DIR] [EXPERIMENT ...]
+//! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
+//!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
+//!                  [EXPERIMENT ...]
 //! ```
 //!
-//! With no experiment arguments every figure/table is produced. Individual
-//! experiments are selected by id: `table1`, `table2`, `fig1-left`,
-//! `fig1-right`, `fig4`, `fig5-left`, `fig5-right`, `fig6-left`, `fig6-right`,
-//! `fig7`, `fig8`, `fig9`.
+//! With no selection every figure/table is produced. Experiments are
+//! selected with `--figures fig5-left,fig8` or as bare positional ids; the
+//! known ids are `table1`, `table2`, `fig1-left`, `fig1-right`, `fig4`,
+//! `fig5-left`, `fig5-right`, `fig6-left`, `fig6-right`, `fig7`, `fig8`,
+//! `fig9`, `ablation-index`.
+//!
+//! `--format json` emits one JSON array with one object per figure
+//! (`{"id", "title", "headers", "rows", "notes"}`) for downstream tooling;
+//! a figure whose jobs failed becomes `{"id", "error"}` and the exit code
+//! is 1. Usage errors (unknown id/flag, invalid options) exit with 2.
 
 use std::io::Write as _;
-use stms_sim::experiments::{self, FigureResult};
+use std::process::ExitCode;
+use stms_sim::campaign::Campaign;
+use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::ExperimentConfig;
 
-const ALL_IDS: &[&str] = &[
-    "table1",
-    "table2",
-    "fig1-left",
-    "fig1-right",
-    "fig4",
-    "fig5-left",
-    "fig5-right",
-    "fig6-left",
-    "fig6-right",
-    "fig7",
-    "fig8",
-    "fig9",
-    "ablation-index",
-];
-
-fn run_one(id: &str, cfg: &ExperimentConfig) -> Option<FigureResult> {
-    let result = match id {
-        "table1" => experiments::table1_system(cfg),
-        "table2" => experiments::table2_mlp(cfg),
-        "fig1-left" => experiments::fig1_left_entries_sweep(cfg),
-        "fig1-right" => experiments::fig1_right_published_overheads(),
-        "fig4" => experiments::fig4_potential(cfg),
-        "fig5-left" => experiments::fig5_history_sweep(cfg),
-        "fig5-right" => experiments::fig5_index_sweep(cfg),
-        "fig6-left" => experiments::fig6_left_stream_length_cdf(cfg),
-        "fig6-right" => experiments::fig6_right_depth_loss(cfg),
-        "fig7" => experiments::fig7_traffic_breakdown(cfg),
-        "fig8" => experiments::fig8_sampling_sweep(cfg),
-        "fig9" => experiments::fig9_final_comparison(cfg),
-        "ablation-index" => {
-            let ablation = stms_sim::ablation::index_organization_ablation(
-                cfg,
-                &stms_workloads::presets::oltp_db2(),
-            );
-            FigureResult {
-                id: "ablation-index".into(),
-                table: ablation.table(),
-                notes:
-                    "the bucketized table resolves every lookup with one memory block; the \
-                        alternatives either probe/chain across several blocks or spend more storage"
-                        .into(),
-            }
-        }
-        _ => return None,
-    };
-    Some(result)
+struct Options {
+    cfg: ExperimentConfig,
+    threads: usize,
+    selected: Vec<String>,
+    format: Format,
+    csv_dir: Option<String>,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
+         \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
+         \x20                       [EXPERIMENT ...]\n\
+         experiments: {}",
+        ALL_IDS.join(", ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut cfg = ExperimentConfig::scaled();
-    let mut csv_dir: Option<String> = None;
+    let mut threads = stms_sim::JobPool::default_threads();
     let mut selected: Vec<String> = Vec::new();
+    let mut format = Format::Text;
+    let mut csv_dir: Option<String> = None;
+    let mut warmup: Option<f64> = None;
+    let mut accesses: Option<usize> = None;
 
     let mut i = 0;
+    let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
             "--accesses" => {
-                i += 1;
-                let n: usize = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--accesses requires a number");
-                cfg = cfg.with_accesses(n);
+                let v = value_of(&mut i, "--accesses")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--accesses requires a number, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--accesses must be non-zero".into());
+                }
+                accesses = Some(n);
             }
-            "--csv" => {
-                i += 1;
-                csv_dir = Some(args.get(i).expect("--csv requires a directory").clone());
+            "--threads" => {
+                let v = value_of(&mut i, "--threads")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads requires a number, got `{v}`"))?;
+                if threads == 0 {
+                    return Err("--threads must be non-zero".into());
+                }
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: stms-experiments [--quick] [--accesses N] [--csv DIR] [EXPERIMENT ...]\n\
-                     experiments: {}",
-                    ALL_IDS.join(", ")
+            "--warmup" => {
+                let v = value_of(&mut i, "--warmup")?;
+                warmup = Some(
+                    v.parse()
+                        .map_err(|_| format!("--warmup requires a fraction, got `{v}`"))?,
                 );
-                return;
             }
-            other => selected.push(other.to_string()),
+            "--figures" => {
+                let v = value_of(&mut i, "--figures")?;
+                selected.extend(
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
+            }
+            "--format" => {
+                let v = value_of(&mut i, "--format")?;
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format must be text or json, got `{other}`")),
+                };
+            }
+            "--csv" => csv_dir = Some(value_of(&mut i, "--csv")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            id => selected.push(id.to_string()),
         }
         i += 1;
     }
+
+    // Overrides apply after `--quick`/default selection, in any flag order.
+    if let Some(n) = accesses {
+        cfg = cfg.with_accesses(n);
+    }
+    // The fallible construction path: command-line options go through
+    // SimOptions validation before any simulation starts.
+    if let Some(fraction) = warmup {
+        cfg.sim = cfg
+            .sim
+            .try_with_warmup(fraction)
+            .map_err(|e| e.to_string())?;
+    }
+    cfg.sim.validate().map_err(|e| e.to_string())?;
+
     if selected.is_empty() {
         selected = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    Ok(Options {
+        cfg,
+        threads,
+        selected,
+        format,
+        csv_dir,
+    })
+}
 
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv output directory");
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Help wins over everything else, before any parsing.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut plans = Vec::new();
+    for id in &opts.selected {
+        match experiments::plan_for_id(id, &opts.cfg) {
+            Some(plan) => plans.push(plan),
+            None => {
+                eprintln!(
+                    "error: unknown experiment `{id}` (known: {})",
+                    ALL_IDS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
     }
 
-    for id in &selected {
-        let Some(result) = run_one(id, &cfg) else {
-            eprintln!("unknown experiment `{id}` (known: {})", ALL_IDS.join(", "));
-            std::process::exit(2);
-        };
-        println!("{}", result.render());
-        if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{}.csv", result.id);
-            let mut file = std::fs::File::create(&path).expect("create csv file");
-            file.write_all(result.table.to_csv().as_bytes())
-                .expect("write csv");
-            eprintln!("wrote {path}");
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create csv output directory `{dir}`: {e}");
+            return ExitCode::from(2);
         }
+    }
+
+    let campaign = Campaign::with_threads(opts.cfg.clone(), opts.threads);
+    let figures = campaign.run_figures(plans);
+
+    let mut failed = false;
+    let mut json_items: Vec<serde_json::Value> = Vec::new();
+    for figure in figures {
+        match figure {
+            Ok(result) => {
+                if opts.format == Format::Text {
+                    println!("{}", result.render());
+                }
+                if let Some(dir) = &opts.csv_dir {
+                    let path = format!("{dir}/{}.csv", result.id);
+                    match std::fs::File::create(&path)
+                        .and_then(|mut f| f.write_all(result.table.to_csv().as_bytes()))
+                    {
+                        Ok(()) => eprintln!("wrote {path}"),
+                        Err(e) => {
+                            eprintln!("error: cannot write {path}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+                if opts.format == Format::Json {
+                    json_items.push(result.to_json());
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                failed = true;
+                if opts.format == Format::Json {
+                    json_items.push(serde_json::Value::Object(vec![
+                        (
+                            "id".to_string(),
+                            serde_json::Value::from(err.figure.as_str()),
+                        ),
+                        (
+                            "error".to_string(),
+                            serde_json::Value::from(err.to_string()),
+                        ),
+                    ]));
+                }
+            }
+        }
+    }
+    if opts.format == Format::Json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(json_items))
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,145 @@
+//! The declarative unit of campaign work.
+//!
+//! A [`JobSpec`] names one simulation the campaign must run — a workload
+//! trace replayed under one prefetcher configuration, or a baseline
+//! miss-sequence capture — without saying *when* or *where* it runs. The
+//! campaign schedules jobs from every figure onto one [`super::JobPool`], so
+//! cells of different figures interleave, and resolves each job's trace
+//! through the shared [`super::TraceStore`].
+
+use crate::runner::PrefetcherKind;
+use std::fmt;
+use stms_mem::SimResult;
+use stms_types::LineAddr;
+
+/// What one job computes.
+#[derive(Debug, Clone)]
+pub enum JobTask {
+    /// Replay the workload's trace with this prefetcher configuration.
+    Replay(PrefetcherKind),
+    /// Capture the baseline off-chip read-miss sequence of each core
+    /// (Figure 6 left's offline stream analysis).
+    CollectMisses,
+}
+
+/// One schedulable unit: a workload crossed with a task.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The workload whose trace the job replays.
+    pub workload: stms_workloads::WorkloadSpec,
+    /// What to compute on that trace.
+    pub task: JobTask,
+}
+
+impl JobSpec {
+    /// A replay job.
+    pub fn replay(workload: stms_workloads::WorkloadSpec, kind: PrefetcherKind) -> Self {
+        JobSpec {
+            workload,
+            task: JobTask::Replay(kind),
+        }
+    }
+
+    /// A miss-sequence capture job.
+    pub fn collect_misses(workload: stms_workloads::WorkloadSpec) -> Self {
+        JobSpec {
+            workload,
+            task: JobTask::CollectMisses,
+        }
+    }
+
+    /// Human-readable identity used in error reports, e.g.
+    /// `"Web Apache × stms(p=0.125)"`.
+    pub fn label(&self) -> String {
+        match &self.task {
+            JobTask::Replay(kind) => format!("{} × {}", self.workload.name, kind.label()),
+            JobTask::CollectMisses => format!("{} × miss-collection", self.workload.name),
+        }
+    }
+}
+
+/// The result of one finished job, mirroring [`JobTask`].
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Result of a [`JobTask::Replay`].
+    Sim(SimResult),
+    /// Result of a [`JobTask::CollectMisses`]: one miss sequence per core.
+    MissSequences(Vec<Vec<LineAddr>>),
+}
+
+impl JobOutput {
+    /// Unwraps a replay result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was a miss collection; a figure's render stage only
+    /// sees outputs of the jobs it planned, so a mismatch is a plan bug.
+    pub fn into_sim(self) -> SimResult {
+        match self {
+            JobOutput::Sim(result) => result,
+            JobOutput::MissSequences(_) => {
+                panic!("plan bug: expected a replay output, got miss sequences")
+            }
+        }
+    }
+
+    /// Unwraps a miss-collection result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was a replay (see [`JobOutput::into_sim`]).
+    pub fn into_miss_sequences(self) -> Vec<Vec<LineAddr>> {
+        match self {
+            JobOutput::MissSequences(seqs) => seqs,
+            JobOutput::Sim(_) => {
+                panic!("plan bug: expected miss sequences, got a replay output")
+            }
+        }
+    }
+}
+
+/// A job that failed (its simulation panicked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// `JobSpec::label()` of the failed job.
+    pub job: String,
+    /// The captured panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job `{}` failed: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stms_workloads::presets;
+
+    #[test]
+    fn labels_identify_workload_and_task() {
+        let replay = JobSpec::replay(presets::web_apache(), PrefetcherKind::Baseline);
+        assert_eq!(replay.label(), "Web Apache × baseline");
+        let collect = JobSpec::collect_misses(presets::sci_ocean());
+        assert!(collect.label().contains("miss-collection"));
+    }
+
+    #[test]
+    fn error_display_names_the_job() {
+        let err = JobError {
+            job: "w × k".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "job `w × k` failed: boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "plan bug")]
+    fn mismatched_output_unwrap_panics() {
+        JobOutput::MissSequences(Vec::new()).into_sim();
+    }
+}

@@ -1,0 +1,383 @@
+//! Campaign orchestration: cached trace generation, bounded scheduling, and
+//! declarative figure plans.
+//!
+//! The paper's evaluation is a `(workload × prefetcher × sweep-point)` grid
+//! rendered as 13 tables and figures. This module decomposes the run
+//! lifecycle into reusable stages, mirroring how a production pipeline
+//! shards a large scan:
+//!
+//! 1. **Generation** — the [`TraceStore`] generates each distinct workload
+//!    trace exactly once per campaign and shares it as a
+//!    [`stms_types::SharedTrace`];
+//! 2. **Scheduling** — the [`JobPool`] replays figure cells on a bounded
+//!    set of worker threads with panic-safe, per-job error reporting;
+//! 3. **Aggregation** — each figure is a declarative [`FigurePlan`]: a list
+//!    of [`JobSpec`]s plus a render stage that folds the job outputs into a
+//!    [`FigureResult`]. [`Campaign::run_figures`] enqueues the jobs of
+//!    *every* requested figure up front, so independent cells from
+//!    different figures interleave on the same pool.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stms_sim::campaign::Campaign;
+//! use stms_sim::{experiments, ExperimentConfig};
+//!
+//! let campaign = Campaign::with_threads(ExperimentConfig::quick(), 2);
+//! let plans = vec![
+//!     experiments::plan_table2(campaign.cfg()),
+//!     experiments::plan_fig4(campaign.cfg()),
+//! ];
+//! for figure in campaign.run_figures(plans) {
+//!     println!("{}", figure.expect("no simulation failed").render());
+//! }
+//! // Both figures replayed the same eight cached traces:
+//! assert_eq!(campaign.store().stats().generated, 8);
+//! ```
+
+mod job;
+mod pool;
+mod trace_store;
+
+pub use job::{JobError, JobOutput, JobSpec, JobTask};
+pub use pool::{JobPanic, JobPool};
+pub use trace_store::{TraceStore, TraceStoreStats};
+
+use crate::experiments::FigureResult;
+use crate::runner::run_trace;
+use crate::system::ExperimentConfig;
+use std::fmt;
+use std::sync::Arc;
+use stms_mem::CmpSimulator;
+use stms_prefetch::MissTraceCollector;
+use stms_workloads::WorkloadSpec;
+
+/// The render stage of a [`FigurePlan`]: folds the plan's job outputs
+/// (delivered in job order) into the rendered figure.
+pub type RenderFn = Box<dyn FnOnce(&ExperimentConfig, Vec<JobOutput>) -> FigureResult + Send>;
+
+/// A figure expressed as data: its jobs plus a render stage.
+///
+/// The jobs say *what* to simulate; the render closure folds the outputs
+/// (delivered in job order) into the figure's table. Plans are inert until a
+/// [`Campaign`] runs them, which is what lets `run_figures` merge the job
+/// lists of many figures into one interleaved batch.
+pub struct FigurePlan {
+    id: String,
+    jobs: Vec<JobSpec>,
+    render: RenderFn,
+}
+
+impl fmt::Debug for FigurePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FigurePlan")
+            .field("id", &self.id)
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FigurePlan {
+    /// Creates a plan. `render` receives one [`JobOutput`] per job, in the
+    /// order the jobs appear in `jobs`.
+    pub fn new(
+        id: impl Into<String>,
+        jobs: Vec<JobSpec>,
+        render: impl FnOnce(&ExperimentConfig, Vec<JobOutput>) -> FigureResult + Send + 'static,
+    ) -> Self {
+        FigurePlan {
+            id: id.into(),
+            jobs,
+            render: Box::new(render),
+        }
+    }
+
+    /// The figure id, e.g. `"fig4"`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Number of simulation jobs the plan schedules.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// A figure that could not be rendered because jobs failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Id of the affected figure.
+    pub figure: String,
+    /// Every failed job of that figure.
+    pub failures: Vec<JobError>,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "figure `{}`: {} job(s) failed: ",
+            self.figure,
+            self.failures.len()
+        )?;
+        for (i, failure) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One experiment campaign: a configuration, a shared trace store, and a
+/// bounded job pool.
+#[derive(Debug)]
+pub struct Campaign {
+    cfg: Arc<ExperimentConfig>,
+    store: Arc<TraceStore>,
+    pool: JobPool,
+}
+
+impl Campaign {
+    /// A campaign with one worker per available hardware thread.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        Self::with_threads(cfg, JobPool::default_threads())
+    }
+
+    /// A campaign with an explicit worker count.
+    pub fn with_threads(cfg: ExperimentConfig, threads: usize) -> Self {
+        Campaign {
+            cfg: Arc::new(cfg),
+            store: Arc::new(TraceStore::new()),
+            pool: JobPool::new(threads),
+        }
+    }
+
+    /// The campaign configuration.
+    pub fn cfg(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The shared trace store (inspect [`TraceStore::stats`] after a run to
+    /// see the generation-sharing at work).
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// Number of pool workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs a batch of jobs on the pool, resolving traces through the shared
+    /// store. Results come back in job order; a panicking simulation yields
+    /// `Err(JobError)` in its slot.
+    pub fn run_jobs(&self, jobs: Vec<JobSpec>) -> Vec<Result<JobOutput, JobError>> {
+        let labels: Vec<String> = jobs.iter().map(JobSpec::label).collect();
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                let cfg = Arc::clone(&self.cfg);
+                let store = Arc::clone(&self.store);
+                move || execute_job(&cfg, &store, job)
+            })
+            .collect();
+        self.pool
+            .run_batch(tasks)
+            .into_iter()
+            .zip(labels)
+            .map(|(outcome, job)| {
+                outcome.map_err(|panic| JobError {
+                    job,
+                    message: panic.message().to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs every workload of a suite with the same prefetcher
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed job's [`JobError`] (remaining jobs still run
+    /// to completion; their results are discarded).
+    pub fn run_suite(
+        &self,
+        specs: &[WorkloadSpec],
+        kind: &crate::runner::PrefetcherKind,
+    ) -> Result<Vec<stms_mem::SimResult>, JobError> {
+        let jobs = specs
+            .iter()
+            .map(|spec| JobSpec::replay(spec.clone(), kind.clone()))
+            .collect();
+        collect_sims(self.run_jobs(jobs))
+    }
+
+    /// Runs several prefetcher configurations against the *same* shared
+    /// trace of one workload (matched comparison).
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_suite`].
+    pub fn run_matched(
+        &self,
+        spec: &WorkloadSpec,
+        kinds: &[crate::runner::PrefetcherKind],
+    ) -> Result<Vec<stms_mem::SimResult>, JobError> {
+        let jobs = kinds
+            .iter()
+            .map(|kind| JobSpec::replay(spec.clone(), kind.clone()))
+            .collect();
+        collect_sims(self.run_jobs(jobs))
+    }
+
+    /// Captures the baseline off-chip read-miss sequence of each core for a
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_suite`].
+    pub fn collect_miss_sequences(
+        &self,
+        spec: &WorkloadSpec,
+    ) -> Result<Vec<Vec<stms_types::LineAddr>>, JobError> {
+        let mut results = self.run_jobs(vec![JobSpec::collect_misses(spec.clone())]);
+        results
+            .pop()
+            .expect("one job in, one result out")
+            .map(JobOutput::into_miss_sequences)
+    }
+
+    /// Runs many figures as one interleaved batch.
+    ///
+    /// All jobs of all plans are enqueued up front, so the pool drains one
+    /// flat grid — a slow cell of one figure never serializes the cells of
+    /// another. Each figure then renders from its own slice of the outputs;
+    /// figures whose jobs all succeeded render even when other figures
+    /// failed.
+    pub fn run_figures(&self, plans: Vec<FigurePlan>) -> Vec<Result<FigureResult, CampaignError>> {
+        let mut all_jobs = Vec::new();
+        let mut parts = Vec::new();
+        for plan in plans {
+            let start = all_jobs.len();
+            all_jobs.extend(plan.jobs);
+            parts.push((plan.id, start..all_jobs.len(), plan.render));
+        }
+        let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
+            self.run_jobs(all_jobs).into_iter().map(Some).collect();
+        parts
+            .into_iter()
+            .map(|(id, range, render)| {
+                let mut oks = Vec::with_capacity(range.len());
+                let mut failures = Vec::new();
+                for slot in &mut outputs[range] {
+                    match slot.take().expect("each output consumed once") {
+                        Ok(output) => oks.push(output),
+                        Err(err) => failures.push(err),
+                    }
+                }
+                if failures.is_empty() {
+                    Ok(render(&self.cfg, oks))
+                } else {
+                    Err(CampaignError {
+                        figure: id,
+                        failures,
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+fn collect_sims(
+    results: Vec<Result<JobOutput, JobError>>,
+) -> Result<Vec<stms_mem::SimResult>, JobError> {
+    results
+        .into_iter()
+        .map(|r| r.map(JobOutput::into_sim))
+        .collect()
+}
+
+fn execute_job(cfg: &ExperimentConfig, store: &TraceStore, job: JobSpec) -> JobOutput {
+    let trace = store.get_or_generate(&job.workload, cfg.accesses);
+    match job.task {
+        JobTask::Replay(kind) => JobOutput::Sim(run_trace(cfg, &trace, &kind)),
+        JobTask::CollectMisses => {
+            let mut collector = MissTraceCollector::new(cfg.system.cores);
+            let _ = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut collector);
+            JobOutput::MissSequences(collector.all_cores())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PrefetcherKind;
+    use stms_workloads::presets;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig::quick().with_accesses(10_000)
+    }
+
+    #[test]
+    fn run_matched_shares_one_trace_across_kinds() {
+        let campaign = Campaign::with_threads(quick(), 2);
+        let results = campaign
+            .run_matched(
+                &presets::web_apache(),
+                &[PrefetcherKind::Baseline, PrefetcherKind::ideal()],
+            )
+            .expect("no job fails");
+        assert_eq!(results.len(), 2);
+        let stats = campaign.store().stats();
+        assert_eq!(stats.generated, 1, "matched kinds replay one shared trace");
+        assert_eq!(stats.hits + stats.misses, 2);
+    }
+
+    #[test]
+    fn run_suite_preserves_workload_order() {
+        let campaign = Campaign::with_threads(quick(), 2);
+        let specs = vec![presets::web_apache(), presets::dss_qry17()];
+        let results = campaign
+            .run_suite(&specs, &PrefetcherKind::Baseline)
+            .expect("no job fails");
+        assert_eq!(results[0].workload, "Web Apache");
+        assert_eq!(results[1].workload, "DSS DB2");
+    }
+
+    #[test]
+    fn collect_miss_sequences_yields_one_per_core() {
+        let campaign = Campaign::with_threads(quick(), 1);
+        let seqs = campaign
+            .collect_miss_sequences(&presets::oltp_db2())
+            .expect("no job fails");
+        assert_eq!(seqs.len(), campaign.cfg().system.cores);
+        assert!(seqs.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn campaign_error_display_lists_failures() {
+        let err = CampaignError {
+            figure: "fig4".into(),
+            failures: vec![
+                JobError {
+                    job: "a".into(),
+                    message: "x".into(),
+                },
+                JobError {
+                    job: "b".into(),
+                    message: "y".into(),
+                },
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.contains("fig4"));
+        assert!(text.contains("2 job(s)"));
+        assert!(text.contains("job `b` failed: y"));
+    }
+}

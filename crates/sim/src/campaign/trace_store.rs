@@ -1,0 +1,178 @@
+//! A concurrent cache of generated workload traces.
+//!
+//! Every figure of the paper replays some subset of the same eight workload
+//! traces, but the seed driver regenerated the trace inside each figure cell
+//! (once per `(figure, sweep point, workload)` — dozens of regenerations per
+//! campaign). [`TraceStore`] keys generated traces by the full
+//! [`WorkloadSpec`] identity (every generator parameter, including trace
+//! length and seed) and hands out [`SharedTrace`] handles, so each distinct
+//! trace is generated exactly once per campaign no matter how many jobs
+//! request it, and matched comparisons across figures replay bit-identical
+//! inputs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use stms_types::SharedTrace;
+use stms_workloads::{generate, WorkloadSpec};
+
+/// Counters describing how a [`TraceStore`] was used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStoreStats {
+    /// Requests served from an already-present entry (including requests
+    /// that waited while another worker generated the trace).
+    pub hits: u64,
+    /// Requests that created a new entry.
+    pub misses: u64,
+    /// Traces actually generated. Always equals `misses` once the store is
+    /// idle: each new entry is generated exactly once, even under
+    /// concurrent first requests.
+    pub generated: u64,
+}
+
+/// A shared, thread-safe store of generated traces keyed by workload spec.
+///
+/// # Example
+///
+/// ```
+/// use stms_sim::campaign::TraceStore;
+/// use stms_workloads::presets;
+///
+/// let store = TraceStore::new();
+/// let a = store.get_or_generate(&presets::web_apache(), 5_000);
+/// let b = store.get_or_generate(&presets::web_apache(), 5_000);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // one generation, shared
+/// assert_eq!(store.stats().generated, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    entries: Mutex<HashMap<WorkloadSpec, Arc<OnceLock<SharedTrace>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    generated: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the trace for `spec` at the campaign's trace length,
+    /// generating it on first request.
+    ///
+    /// Concurrent first requests for the same key generate the trace exactly
+    /// once: the first requester runs the generator while the others block on
+    /// the entry's cell and then share the result. Requests for different
+    /// keys never contend beyond the brief map lookup.
+    pub fn get_or_generate(&self, spec: &WorkloadSpec, accesses: usize) -> SharedTrace {
+        let key = spec.clone().with_accesses(accesses);
+        let cell = {
+            let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+            match map.get(&key) {
+                Some(cell) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(cell)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(key.clone(), Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        // Generation happens outside the map lock so other keys proceed.
+        Arc::clone(cell.get_or_init(|| {
+            self.generated.fetch_add(1, Ordering::Relaxed);
+            generate(&key).into_shared()
+        }))
+    }
+
+    /// Number of distinct traces currently cached (including any still being
+    /// generated).
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            generated: self.generated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached trace and resets the counters (frees the memory of
+    /// a finished campaign without discarding the store).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.generated.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stms_workloads::presets;
+
+    #[test]
+    fn caches_by_full_spec_identity() {
+        let store = TraceStore::new();
+        let spec = presets::web_apache();
+
+        let first = store.get_or_generate(&spec, 4_000);
+        let second = store.get_or_generate(&spec, 4_000);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.len(), 4_000);
+
+        // A different trace length, seed, or workload is a different key.
+        let longer = store.get_or_generate(&spec, 8_000);
+        assert!(!Arc::ptr_eq(&first, &longer));
+        let reseeded = store.get_or_generate(&spec.clone().with_seed(99), 4_000);
+        assert!(!Arc::ptr_eq(&first, &reseeded));
+        let other = store.get_or_generate(&presets::sci_ocean(), 4_000);
+        assert!(!Arc::ptr_eq(&first, &other));
+
+        assert_eq!(store.len(), 4);
+        let stats = store.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.generated, 4);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cached_trace_is_bit_identical_to_direct_generation() {
+        let store = TraceStore::new();
+        let spec = presets::oltp_db2();
+        let cached = store.get_or_generate(&spec, 3_000);
+        let direct = generate(&spec.clone().with_accesses(3_000));
+        assert_eq!(*cached, direct);
+        assert_eq!(cached.encode(), direct.encode());
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counters() {
+        let store = TraceStore::new();
+        assert!(store.is_empty());
+        store.get_or_generate(&presets::web_apache(), 1_000);
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.stats(), TraceStoreStats::default());
+    }
+}

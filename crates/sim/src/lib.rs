@@ -7,9 +7,15 @@
 //! (`stms-stats`).
 //!
 //! * [`ExperimentConfig`] — the scaled system model and trace lengths;
-//! * [`runner`] — running (workload × prefetcher) combinations, in parallel;
-//! * [`experiments`] — one function per table/figure of the paper (§5);
-//! * the `stms-experiments` binary — command-line front end.
+//! * [`campaign`] — the orchestration layer: a [`campaign::TraceStore`]
+//!   generating each workload trace exactly once, a bounded
+//!   [`campaign::JobPool`] with panic-safe per-job errors, and declarative
+//!   [`campaign::FigurePlan`]s whose cells interleave on one pool;
+//! * [`runner`] — (workload × prefetcher) convenience runners on top of the
+//!   campaign layer;
+//! * [`experiments`] — one plan per table/figure of the paper (§5);
+//! * the `stms-experiments` binary — command-line front end
+//!   (`--figures`, `--threads`, `--format text|json`).
 //!
 //! # Example
 //!
@@ -26,11 +32,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod experiments;
 pub mod runner;
 pub mod system;
 
-pub use ablation::{index_organization_ablation, IndexAblation, IndexAblationRow};
+pub use ablation::{
+    index_organization_ablation, index_organization_ablation_from, IndexAblation, IndexAblationRow,
+};
+pub use campaign::{
+    Campaign, CampaignError, FigurePlan, JobError, JobOutput, JobPool, JobSpec, JobTask,
+    TraceStore, TraceStoreStats,
+};
 pub use experiments::FigureResult;
 pub use runner::{
     build_trace, collect_miss_sequences, run_matched, run_suite, run_trace, run_workload,

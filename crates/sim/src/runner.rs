@@ -62,7 +62,9 @@ impl PrefetcherKind {
                 format!("stms(p={:.3})", cfg.sampling_probability)
             }
             PrefetcherKind::FixedDepth(cfg) => format!("fixed-depth({})", cfg.depth),
-            PrefetcherKind::Markov(_) => "markov".to_string(),
+            PrefetcherKind::Markov(cfg) => {
+                format!("markov({} entries, {} succ)", cfg.entries, cfg.successors)
+            }
         }
     }
 
@@ -114,52 +116,39 @@ pub fn run_trace(cfg: &ExperimentConfig, trace: &Trace, kind: &PrefetcherKind) -
     CmpSimulator::new(&cfg.system, cfg.sim).run(trace, prefetcher.as_mut())
 }
 
-/// Runs every workload of a suite with the same prefetcher configuration,
-/// in parallel (one worker thread per workload).
+/// Runs every workload of a suite with the same prefetcher configuration on
+/// a bounded worker pool (one transient [`Campaign`](crate::campaign::Campaign)
+/// sized to the machine). Results are in workload order.
+///
+/// This is the convenience form for one-off suites; campaign-scale callers
+/// should hold a [`Campaign`](crate::campaign::Campaign) so traces and
+/// workers are shared across calls.
+///
+/// # Errors
+///
+/// Returns a [`JobError`](crate::campaign::JobError) naming the first
+/// workload whose simulation panicked, instead of aborting the process.
 pub fn run_suite(
     cfg: &ExperimentConfig,
     specs: &[WorkloadSpec],
     kind: &PrefetcherKind,
-) -> Vec<SimResult> {
-    let mut results: Vec<Option<SimResult>> = vec![None; specs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, spec) in specs.iter().enumerate() {
-            handles.push((i, scope.spawn(move || run_workload(cfg, spec, kind))));
-        }
-        for (i, handle) in handles {
-            results[i] = Some(handle.join().expect("simulation thread panicked"));
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every workload produced a result"))
-        .collect()
+) -> Result<Vec<SimResult>, crate::campaign::JobError> {
+    crate::campaign::Campaign::new(cfg.clone()).run_suite(specs, kind)
 }
 
 /// Runs several prefetcher configurations on the *same* generated trace of
-/// one workload (matched comparison), in parallel.
+/// one workload (matched comparison) on a bounded worker pool. Results are
+/// in `kinds` order.
+///
+/// # Errors
+///
+/// See [`run_suite`].
 pub fn run_matched(
     cfg: &ExperimentConfig,
     spec: &WorkloadSpec,
     kinds: &[PrefetcherKind],
-) -> Vec<SimResult> {
-    let trace = build_trace(cfg, spec);
-    let trace_ref = &trace;
-    let mut results: Vec<Option<SimResult>> = vec![None; kinds.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, kind) in kinds.iter().enumerate() {
-            handles.push((i, scope.spawn(move || run_trace(cfg, trace_ref, kind))));
-        }
-        for (i, handle) in handles {
-            results[i] = Some(handle.join().expect("simulation thread panicked"));
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every kind produced a result"))
-        .collect()
+) -> Result<Vec<SimResult>, crate::campaign::JobError> {
+    crate::campaign::Campaign::new(cfg.clone()).run_matched(spec, kinds)
 }
 
 /// Captures the baseline off-chip read-miss sequence of each core for a
@@ -206,6 +195,26 @@ mod tests {
     }
 
     #[test]
+    fn markov_labels_carry_distinguishing_parameters() {
+        // A sweep over Markov table sizes must not alias its rows.
+        let small = PrefetcherKind::Markov(MarkovConfig {
+            entries: 1 << 10,
+            ..Default::default()
+        });
+        let large = PrefetcherKind::Markov(MarkovConfig {
+            entries: 1 << 16,
+            ..Default::default()
+        });
+        assert_ne!(small.label(), large.label());
+        assert_eq!(small.label(), "markov(1024 entries, 2 succ)");
+        let deeper = PrefetcherKind::Markov(MarkovConfig {
+            successors: 4,
+            ..Default::default()
+        });
+        assert!(deeper.label().contains("4 succ"));
+    }
+
+    #[test]
     fn baseline_run_produces_misses() {
         let cfg = quick();
         let spec = presets::web_apache();
@@ -245,7 +254,7 @@ mod tests {
         let cfg = quick();
         let spec = presets::sci_ocean();
         let kinds = [PrefetcherKind::Baseline, PrefetcherKind::ideal()];
-        let results = run_matched(&cfg, &spec, &kinds);
+        let results = run_matched(&cfg, &spec, &kinds).expect("no simulation panics");
         assert_eq!(results.len(), 2);
         assert!(results[1].coverage() >= results[0].coverage());
         // Matched runs replay the identical trace: the base miss opportunity
@@ -259,10 +268,10 @@ mod tests {
     }
 
     #[test]
-    fn run_suite_is_parallel_and_ordered() {
+    fn run_suite_is_pooled_and_ordered() {
         let cfg = quick();
         let specs = vec![presets::web_apache(), presets::dss_qry17()];
-        let results = run_suite(&cfg, &specs, &PrefetcherKind::Baseline);
+        let results = run_suite(&cfg, &specs, &PrefetcherKind::Baseline).expect("no panics");
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].workload, "Web Apache");
         assert_eq!(results[1].workload, "DSS DB2");

@@ -1,0 +1,102 @@
+//! End-to-end checks of the campaign orchestration layer: a full `run_all`
+//! grid generates each workload trace exactly once, every figure renders
+//! through the job layer with the expected shape, and the cached-trace path
+//! reproduces the regeneration path bit-for-bit.
+
+use std::collections::HashSet;
+use stms_sim::campaign::Campaign;
+use stms_sim::experiments::{self, ALL_IDS};
+use stms_sim::ExperimentConfig;
+use stms_workloads::{presets, WorkloadSpec};
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig::quick().with_accesses(8_000)
+}
+
+#[test]
+fn full_grid_generates_each_workload_trace_exactly_once() {
+    let cfg = tiny();
+    let campaign = Campaign::with_threads(cfg.clone(), 2);
+    let figures = campaign.run_figures(experiments::all_plans(&cfg));
+
+    // All 13 experiments render through the job layer, in ALL_IDS order.
+    assert_eq!(figures.len(), ALL_IDS.len());
+    for (figure, &id) in figures.iter().zip(ALL_IDS) {
+        let figure = figure.as_ref().expect("no job fails on the tiny grid");
+        assert_eq!(figure.id, id);
+        assert!(!figure.render().trim().is_empty(), "{id}: empty output");
+    }
+
+    // The distinct workload specs the grid can touch: the paper suite and
+    // the commercial suite (the ablation reuses a suite workload).
+    let distinct: HashSet<WorkloadSpec> = presets::paper_figure_suite()
+        .into_iter()
+        .chain(presets::commercial_suite())
+        .map(|s| s.with_accesses(cfg.accesses))
+        .collect();
+
+    let stats = campaign.store().stats();
+    assert_eq!(
+        stats.generated,
+        distinct.len() as u64,
+        "each distinct workload trace is generated exactly once per campaign"
+    );
+    assert_eq!(stats.misses, stats.generated);
+    assert!(
+        stats.hits > 100,
+        "the grid re-uses cached traces heavily (got {} hits)",
+        stats.hits
+    );
+}
+
+#[test]
+fn figure_shapes_match_the_paper_grid() {
+    let cfg = tiny();
+    let campaign = Campaign::with_threads(cfg.clone(), 2);
+    let figures: Vec<_> = campaign
+        .run_figures(experiments::all_plans(&cfg))
+        .into_iter()
+        .map(|f| f.expect("no job fails"))
+        .collect();
+
+    let by_id = |id: &str| {
+        figures
+            .iter()
+            .find(|f| f.id == id)
+            .unwrap_or_else(|| panic!("figure {id} missing"))
+    };
+    // Workload-per-row figures have one row per suite workload.
+    assert_eq!(by_id("table2").table.row_count(), 8);
+    assert_eq!(by_id("fig4").table.row_count(), 8);
+    assert_eq!(by_id("fig9").table.row_count(), 8);
+    // Sweep figures have one row per sweep point.
+    assert_eq!(by_id("fig1-left").table.row_count(), 6);
+    assert_eq!(by_id("fig5-left").table.row_count(), 6);
+    assert_eq!(by_id("fig5-right").table.row_count(), 6);
+    // fig8's header carries traffic+coverage per probability.
+    assert_eq!(by_id("fig8").table.headers().len(), 1 + 2 * 7);
+    // fig7 shows two sampling rows per workload.
+    assert_eq!(by_id("fig7").table.row_count(), 16);
+    // The ablation compares three organizations.
+    assert_eq!(by_id("ablation-index").table.row_count(), 3);
+}
+
+#[test]
+fn cached_traces_reproduce_the_regeneration_path() {
+    let cfg = tiny();
+    // Through the shared campaign (fig4's cells replay cached traces that
+    // many other figures also used)...
+    let campaign = Campaign::with_threads(cfg.clone(), 2);
+    let plans = vec![
+        experiments::plan_table2(&cfg),
+        experiments::plan_fig4(&cfg),
+        experiments::plan_fig6_right(&cfg),
+    ];
+    let mut batched = campaign.run_figures(plans);
+    let fig4_batched = batched.remove(1).expect("no job fails");
+
+    // ...and through the standalone wrapper with its own fresh store.
+    let fig4_direct = experiments::fig4_potential(&cfg);
+
+    assert_eq!(fig4_batched.render(), fig4_direct.render());
+}

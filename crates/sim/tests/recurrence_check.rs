@@ -16,7 +16,8 @@ fn sampling_loss_shrinks_with_longer_traces() {
                 PrefetcherKind::ideal(),
                 PrefetcherKind::stms_with_sampling(0.125),
             ],
-        );
+        )
+        .expect("no simulation panics");
         println!(
             "accesses={accesses} ideal_cov={:.3} stms_cov={:.3} ratio={:.2}",
             r[0].coverage(),

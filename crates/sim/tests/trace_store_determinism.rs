@@ -1,0 +1,95 @@
+//! Trace-store determinism under concurrency: many pool workers requesting
+//! the same `(spec, accesses)` must share one bit-identical trace, and
+//! different specs must never alias a cache entry.
+
+use std::sync::Arc;
+use stms_sim::campaign::{JobPool, TraceStore};
+use stms_types::SharedTrace;
+use stms_workloads::{generate, presets};
+
+const ACCESSES: usize = 6_000;
+
+#[test]
+fn concurrent_requests_for_one_spec_share_one_bit_identical_trace() {
+    let store = Arc::new(TraceStore::new());
+    let pool = JobPool::new(8);
+    let requests = 16;
+
+    let tasks: Vec<_> = (0..requests)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            move || store.get_or_generate(&presets::web_apache(), ACCESSES)
+        })
+        .collect();
+    let traces: Vec<SharedTrace> = pool
+        .run_batch(tasks)
+        .into_iter()
+        .map(|r| r.expect("generation never panics"))
+        .collect();
+
+    // Every worker got the same allocation — not merely an equal trace.
+    for trace in &traces[1..] {
+        assert!(Arc::ptr_eq(&traces[0], trace));
+    }
+    // And it is bit-identical to a from-scratch generation of the same spec.
+    let direct = generate(&presets::web_apache().with_accesses(ACCESSES));
+    assert_eq!(traces[0].encode(), direct.encode());
+
+    let stats = store.stats();
+    assert_eq!(stats.generated, 1, "the trace was generated exactly once");
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, requests - 1);
+    assert_eq!(store.len(), 1);
+}
+
+#[test]
+fn distinct_specs_never_alias_a_cache_entry() {
+    let store = Arc::new(TraceStore::new());
+    let pool = JobPool::new(4);
+
+    // 4 distinct keys requested twice each, interleaved: different workloads,
+    // a reseeded twin, and a different trace length of the same workload.
+    let specs = [
+        (presets::web_apache(), ACCESSES),
+        (presets::sci_ocean(), ACCESSES),
+        (presets::web_apache().with_seed(0xDEAD), ACCESSES),
+        (presets::web_apache(), 2 * ACCESSES),
+    ];
+    let tasks: Vec<_> = (0..2 * specs.len())
+        .map(|i| {
+            let store = Arc::clone(&store);
+            let (spec, accesses) = specs[i % specs.len()].clone();
+            move || store.get_or_generate(&spec, accesses)
+        })
+        .collect();
+    let traces: Vec<SharedTrace> = pool
+        .run_batch(tasks)
+        .into_iter()
+        .map(|r| r.expect("generation never panics"))
+        .collect();
+
+    // Same key -> same allocation; different key -> different allocation.
+    for (i, a) in traces.iter().enumerate() {
+        for (j, b) in traces.iter().enumerate() {
+            let same_key = i % specs.len() == j % specs.len();
+            assert_eq!(
+                Arc::ptr_eq(a, b),
+                same_key,
+                "request {i} vs {j}: aliasing must follow key identity"
+            );
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(stats.generated, specs.len() as u64);
+    assert_eq!(stats.misses, specs.len() as u64);
+    assert_eq!(stats.hits, specs.len() as u64);
+    assert_eq!(store.len(), specs.len());
+
+    // The distinct entries really hold different traces.
+    assert_ne!(
+        traces[0].encode(),
+        traces[2].encode(),
+        "seed changes content"
+    );
+    assert_ne!(traces[0].len(), traces[3].len(), "length changes content");
+}

@@ -47,6 +47,38 @@ impl TextTable {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The title line, if one was set.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
+    /// Rebuilds a table from its parts (the inverse of the accessors; used
+    /// when deserializing exported results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the header width.
+    pub fn from_parts(headers: Vec<String>, rows: Vec<Vec<String>>, title: Option<String>) -> Self {
+        let mut t = TextTable::new(headers);
+        if let Some(title) = title {
+            t = t.with_title(title);
+        }
+        for row in rows {
+            t.add_row(row);
+        }
+        t
+    }
+
     /// Appends a row.
     ///
     /// # Panics
@@ -170,6 +202,21 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = TextTable::new(vec!["a".into()]);
         t.add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn accessors_round_trip_through_from_parts() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]).with_title("T");
+        t.add_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.headers(), ["a", "b"]);
+        assert_eq!(t.rows(), [["1", "2"]]);
+        assert_eq!(t.title(), Some("T"));
+        let rebuilt = TextTable::from_parts(
+            t.headers().to_vec(),
+            t.rows().to_vec(),
+            t.title().map(String::from),
+        );
+        assert_eq!(rebuilt, t);
     }
 
     #[test]

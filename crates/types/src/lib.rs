@@ -30,4 +30,4 @@ pub use access::{AccessKind, MemAccess};
 pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
 pub use ids::CoreId;
 pub use time::Cycle;
-pub use trace::{Trace, TraceMeta};
+pub use trace::{SharedTrace, Trace, TraceMeta};

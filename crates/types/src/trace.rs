@@ -10,6 +10,16 @@ use crate::{AccessKind, CoreId, LineAddr, MemAccess};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable handle to a generated trace.
+///
+/// Traces are large (tens of bytes per access); campaign-style experiment
+/// drivers generate each workload trace once and replay it from many worker
+/// threads concurrently. `SharedTrace` is the currency of that sharing:
+/// cloning is one atomic increment, and the underlying [`Trace`] is immutable
+/// for the lifetime of the handle.
+pub type SharedTrace = Arc<Trace>;
 
 /// Metadata describing how a trace was produced.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -73,6 +83,11 @@ impl Trace {
     /// Creates a trace from already-collected accesses.
     pub fn from_accesses(meta: TraceMeta, accesses: Vec<MemAccess>) -> Self {
         Trace { meta, accesses }
+    }
+
+    /// Wraps the trace in a [`SharedTrace`] handle for concurrent replay.
+    pub fn into_shared(self) -> SharedTrace {
+        Arc::new(self)
     }
 
     /// Returns the trace metadata.
@@ -308,6 +323,14 @@ mod tests {
         let mut bad = sample_trace().encode().to_vec();
         bad[0] ^= 0xff;
         assert!(Trace::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn into_shared_is_cheap_to_clone_and_compares_equal() {
+        let shared = sample_trace().into_shared();
+        let alias = Arc::clone(&shared);
+        assert!(Arc::ptr_eq(&shared, &alias));
+        assert_eq!(*shared, sample_trace());
     }
 
     #[test]

@@ -29,6 +29,32 @@ pub enum LengthDist {
     Fixed(u64),
 }
 
+// Campaign trace stores key cached traces by the full generator
+// configuration, so the distribution must be usable as a hash-map key. The
+// float parameter is compared and hashed by bit pattern, normalized with
+// `+ 0.0` so `-0.0` hashes like the `0.0` it equals: two distributions are
+// "the same key" exactly when they were built from numerically identical
+// constants (the presets never compute `alpha`, so `0.1 + 0.2`-style drift
+// does not arise, and a NaN `alpha` would be a bug everywhere else first).
+impl Eq for LengthDist {}
+
+impl std::hash::Hash for LengthDist {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match *self {
+            LengthDist::Pareto { min, max, alpha } => {
+                0u8.hash(state);
+                min.hash(state);
+                max.hash(state);
+                (alpha + 0.0).to_bits().hash(state);
+            }
+            LengthDist::Fixed(n) => {
+                1u8.hash(state);
+                n.hash(state);
+            }
+        }
+    }
+}
+
 impl LengthDist {
     /// A bounded Pareto whose median is approximately `median`.
     ///

@@ -94,6 +94,62 @@ pub struct WorkloadSpec {
     pub seed: u64,
 }
 
+// The campaign trace store keys cached traces by `WorkloadSpec` identity, so
+// the spec must be usable as a hash-map key. Float fields are compared (via
+// the derived `PartialEq`) and hashed by bit pattern — normalized with
+// `+ 0.0` first so that `-0.0` (which `==` considers equal to `0.0`) hashes
+// identically and the Hash/Eq contract holds. Two specs alias a cache entry
+// exactly when every generator parameter is numerically identical, which is
+// the property that makes the cached trace a faithful stand-in for
+// regeneration.
+impl Eq for WorkloadSpec {}
+
+fn hash_f64<H: std::hash::Hasher>(value: f64, state: &mut H) {
+    use std::hash::Hash as _;
+    (value + 0.0).to_bits().hash(state);
+}
+
+impl std::hash::Hash for WorkloadSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let WorkloadSpec {
+            name,
+            class,
+            cores,
+            accesses,
+            p_repeat,
+            stream_len,
+            max_pool_streams,
+            shared_pool,
+            p_noise,
+            scan_run,
+            hot_fraction,
+            hot_lines,
+            p_dependent,
+            mean_gap,
+            p_divergence,
+            p_write,
+            seed,
+        } = self;
+        name.hash(state);
+        class.hash(state);
+        cores.hash(state);
+        accesses.hash(state);
+        hash_f64(*p_repeat, state);
+        stream_len.hash(state);
+        max_pool_streams.hash(state);
+        shared_pool.hash(state);
+        hash_f64(*p_noise, state);
+        scan_run.hash(state);
+        hash_f64(*hot_fraction, state);
+        hot_lines.hash(state);
+        hash_f64(*p_dependent, state);
+        mean_gap.hash(state);
+        hash_f64(*p_divergence, state);
+        hash_f64(*p_write, state);
+        seed.hash(state);
+    }
+}
+
 impl WorkloadSpec {
     /// Approximate number of distinct lines the workload touches, used to
     /// size predictor structures in the experiments.
@@ -208,6 +264,39 @@ mod tests {
         let s = spec().with_accesses(5000).with_seed(99);
         assert_eq!(s.accesses, 5000);
         assert_eq!(s.seed, 99);
+    }
+
+    #[test]
+    fn spec_is_usable_as_a_hash_map_key() {
+        use std::collections::HashMap;
+        let mut map: HashMap<WorkloadSpec, u32> = HashMap::new();
+        map.insert(spec(), 1);
+        // Identical parameters hit the same entry...
+        assert_eq!(map.get(&spec()), Some(&1));
+        // ...while any parameter difference (trace length, seed, a float
+        // knob) is a distinct key.
+        assert!(!map.contains_key(&spec().with_accesses(2000)));
+        assert!(!map.contains_key(&spec().with_seed(2)));
+        let mut warped = spec();
+        warped.p_repeat += 1e-9;
+        assert!(!map.contains_key(&warped));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_the_positive_zero_it_equals() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut pos = spec();
+        pos.p_noise = 0.0;
+        let mut neg = spec();
+        neg.p_noise = -0.0;
+        assert_eq!(pos, neg, "== treats the zeros as equal");
+        let digest = |s: &WorkloadSpec| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&pos), digest(&neg), "so Hash must agree");
     }
 
     #[test]

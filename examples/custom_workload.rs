@@ -77,7 +77,8 @@ fn main() {
                 PrefetcherKind::ideal(),
                 PrefetcherKind::stms_with_sampling(0.125),
             ],
-        );
+        )
+        .expect("no simulation panics");
         let (base, ideal, stms) = (&results[0], &results[1], &results[2]);
         println!(
             "  ideal TMS: coverage {}, speedup {:+.1}%    STMS: coverage {}, speedup {:+.1}%, overhead {:.2} bytes/useful byte\n",

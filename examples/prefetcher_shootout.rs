@@ -34,7 +34,7 @@ fn main() {
         PrefetcherKind::ideal(),
         PrefetcherKind::stms_with_sampling(0.125),
     ];
-    let results = run_matched(&cfg, &spec, &kinds);
+    let results = run_matched(&cfg, &spec, &kinds).expect("no simulation panics");
     let baseline: &SimResult = &results[0];
 
     let mut table = TextTable::new(vec![

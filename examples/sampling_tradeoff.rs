@@ -27,7 +27,7 @@ fn main() {
         .iter()
         .map(|&p| PrefetcherKind::stms_with_sampling(p))
         .collect();
-    let results = run_matched(&cfg, &spec, &kinds);
+    let results = run_matched(&cfg, &spec, &kinds).expect("no simulation panics");
 
     let mut table = TextTable::new(vec![
         "sampling".into(),

@@ -104,7 +104,8 @@ fn temporal_prefetchers_cover_the_repetitive_workload() {
             PrefetcherKind::ideal(),
             PrefetcherKind::stms_with_sampling(1.0),
         ],
-    );
+    )
+    .expect("no simulation panics");
     let (base, ideal, stms_full) = (&results[0], &results[1], &results[2]);
     assert!(
         ideal.coverage() > 0.3,
@@ -134,7 +135,8 @@ fn probabilistic_update_trades_little_coverage_for_much_less_traffic() {
             PrefetcherKind::stms_with_sampling(1.0),
             PrefetcherKind::stms_with_sampling(0.125),
         ],
-    );
+    )
+    .expect("no simulation panics");
     let (full, sampled) = (&results[0], &results[1]);
     let update_reduction =
         full.traffic.meta_update as f64 / sampled.traffic.meta_update.max(1) as f64;
