@@ -1,12 +1,21 @@
 //! Benchmarks of the campaign orchestration layer: trace-store hit path vs
-//! regeneration, and job-pool scheduling overhead.
+//! regeneration, the persistent tiers cold vs warm, and job-pool scheduling
+//! overhead.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
 use stms_bench::bench_workload;
-use stms_sim::campaign::{JobPool, TraceStore};
+use stms_sim::campaign::{Campaign, CampaignCaches, DiskTierConfig, JobPool, TraceStore};
+use stms_sim::ExperimentConfig;
 use stms_workloads::generate;
 
 const ACCESSES: usize = 30_000;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stms-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn bench_trace_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_store");
@@ -24,6 +33,76 @@ fn bench_trace_store(c: &mut Criterion) {
     group.bench_function("warm_fetch", |b| {
         b.iter(|| black_box(store.get_or_generate(&bench_workload(), ACCESSES).len()))
     });
+    group.finish();
+}
+
+fn bench_disk_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_store_disk");
+    group.sample_size(10);
+
+    // Cold: a fresh store on an empty directory generates and persists.
+    group.bench_function("cold_generate_and_persist", |b| {
+        b.iter(|| {
+            let dir = bench_dir("disk-cold");
+            let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+            let len = store.get_or_generate(&bench_workload(), ACCESSES).len();
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(len)
+        })
+    });
+
+    // Warm: a fresh store (simulating a new process) decodes the persisted
+    // blob instead of regenerating. The delta to `cold_generate_and_persist`
+    // is what `--trace-cache` buys every later campaign process.
+    let dir = bench_dir("disk-warm");
+    TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+        .unwrap()
+        .get_or_generate(&bench_workload(), ACCESSES);
+    group.bench_function("warm_load_from_disk", |b| {
+        b.iter(|| {
+            let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+            black_box(store.get_or_generate(&bench_workload(), ACCESSES).len())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+fn bench_campaign_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_caches");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick().with_accesses(10_000);
+    let kinds = [
+        stms_sim::PrefetcherKind::Baseline,
+        stms_sim::PrefetcherKind::ideal(),
+    ];
+
+    // Cold: every iteration replays both configurations from scratch.
+    group.bench_function("cold_run_matched", |b| {
+        b.iter(|| {
+            let campaign = Campaign::with_threads(cfg.clone(), 1);
+            let results = campaign.run_matched(&bench_workload(), &kinds).unwrap();
+            black_box(results.len())
+        })
+    });
+
+    // Warm: a fresh campaign (simulating a new process) on a populated
+    // cache directory serves both jobs from the result memo without
+    // generating a trace or running the engine.
+    let dir = bench_dir("campaign-warm");
+    Campaign::with_caches(cfg.clone(), 1, CampaignCaches::in_dir(&dir))
+        .unwrap()
+        .run_matched(&bench_workload(), &kinds)
+        .unwrap();
+    group.bench_function("warm_run_matched", |b| {
+        b.iter(|| {
+            let campaign =
+                Campaign::with_caches(cfg.clone(), 1, CampaignCaches::in_dir(&dir)).unwrap();
+            let results = campaign.run_matched(&bench_workload(), &kinds).unwrap();
+            black_box(results.len())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
 
@@ -47,5 +126,11 @@ fn bench_job_pool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_store, bench_job_pool);
+criterion_group!(
+    benches,
+    bench_trace_store,
+    bench_disk_tier,
+    bench_campaign_cold_vs_warm,
+    bench_job_pool
+);
 criterion_main!(benches);

@@ -32,6 +32,32 @@ pub struct StmsConfig {
     pub sampling_seed: u64,
 }
 
+// Stable fingerprint so STMS design points can key on-disk memoized
+// results in the campaign result cache.
+impl stms_types::Fingerprintable for StmsConfig {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let StmsConfig {
+            cores,
+            history_entries_per_core,
+            entries_per_history_block,
+            index_buckets,
+            entries_per_bucket,
+            bucket_buffer_blocks,
+            sampling_probability,
+            sampling_seed,
+        } = self;
+        fp.write_str("StmsConfig/v1");
+        fp.write_usize(*cores);
+        fp.write_usize(*history_entries_per_core);
+        fp.write_usize(*entries_per_history_block);
+        fp.write_usize(*index_buckets);
+        fp.write_usize(*entries_per_bucket);
+        fp.write_usize(*bucket_buffer_blocks);
+        fp.write_f64(*sampling_probability);
+        fp.write_u64(*sampling_seed);
+    }
+}
+
 impl StmsConfig {
     /// The paper's full-scale design point: 64 MB of main-memory meta-data
     /// (roughly 32 MB of history buffers plus a 16 MB index table), 12.5%

@@ -95,6 +95,61 @@ pub struct SystemConfig {
     pub stride: StrideConfig,
 }
 
+// Stable fingerprints so a system model can key on-disk cache entries (the
+// campaign result cache memoizes SimResults by, among other things, the full
+// SystemConfig). Exhaustive destructuring: adding a field will not compile
+// until it is fingerprinted.
+impl stms_types::Fingerprintable for SystemConfig {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let SystemConfig {
+            cores,
+            l1,
+            l2,
+            dram,
+            core,
+            stride,
+        } = self;
+        fp.write_str("SystemConfig/v1");
+        fp.write_usize(*cores);
+        for cache in [l1, l2] {
+            let CacheConfig {
+                capacity_bytes,
+                associativity,
+                line_bytes,
+                hit_latency,
+            } = cache;
+            fp.write_usize(*capacity_bytes);
+            fp.write_usize(*associativity);
+            fp.write_usize(*line_bytes);
+            fp.write_u64(*hit_latency);
+        }
+        let DramConfig {
+            latency_cycles,
+            bytes_per_cycle,
+            transfer_bytes,
+        } = dram;
+        fp.write_u64(*latency_cycles);
+        fp.write_f64(*bytes_per_cycle);
+        fp.write_usize(*transfer_bytes);
+        let CoreConfig {
+            rob_size,
+            mshrs,
+            freq_ghz,
+        } = core;
+        fp.write_u64(*rob_size);
+        fp.write_usize(*mshrs);
+        fp.write_f64(*freq_ghz);
+        let StrideConfig {
+            streams,
+            degree,
+            confidence,
+        } = stride;
+        fp.write_usize(*streams);
+        fp.write_usize(*degree);
+        fp.write_u32(*confidence);
+    }
+}
+
 impl SystemConfig {
     /// The 4-core CMP configuration from Table 1 of the paper: 64 KB 2-way
     /// L1s (2-cycle), 8 MB 16-way shared L2 (20-cycle), 3 GB memory at 45 ns

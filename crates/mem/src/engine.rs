@@ -9,7 +9,7 @@
 //! # Timing model
 //!
 //! Timing is approximated with an *epoch* model of memory-level parallelism
-//! (in the spirit of Chou et al. [7] as used by the paper): off-chip demand
+//! (in the spirit of Chou et al. \[7\] as used by the paper): off-chip demand
 //! read misses that are (a) independent (not flagged as pointer-dependent on
 //! the previous miss), (b) within one reorder-buffer window of the epoch's
 //! first miss and (c) within the per-core MSHR limit, overlap with the
@@ -61,6 +61,23 @@ impl Default for SimOptions {
             refill_threshold: 8,
             warmup_fraction: 0.2,
         }
+    }
+}
+
+// Stable fingerprint so engine options can key on-disk memoized results.
+impl stms_types::Fingerprintable for SimOptions {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let SimOptions {
+            prefetch_buffer_lines,
+            stream_lookahead,
+            refill_threshold,
+            warmup_fraction,
+        } = self;
+        fp.write_str("SimOptions/v1");
+        fp.write_usize(*prefetch_buffer_lines);
+        fp.write_usize(*stream_lookahead);
+        fp.write_usize(*refill_threshold);
+        fp.write_f64(*warmup_fraction);
     }
 }
 

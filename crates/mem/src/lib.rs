@@ -55,6 +55,6 @@ pub use dram::{DramModel, TrafficClass, TrafficStats};
 pub use engine::{CmpSimulator, InvalidSimOptions, SimOptions};
 pub use mshr::{MshrEntry, MshrFile};
 pub use prefetcher::{NullPrefetcher, Prefetcher, StreamChunk};
-pub use result::{OverheadBreakdown, SimResult};
+pub use result::{DecodeResultError, OverheadBreakdown, SimResult, SIM_RESULT_CODEC_VERSION};
 pub use stream::{PrefetchBuffer, PrefetchedBlock, StreamState};
 pub use stride::{StridePrefetcher, StrideStats};

@@ -2,6 +2,7 @@
 
 use crate::dram::TrafficStats;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Counters and derived metrics from a single simulation of one trace with
 /// one prefetcher configuration.
@@ -159,6 +160,230 @@ impl SimResult {
     }
 }
 
+/// Version of the [`SimResult::encode`] payload codec. The campaign result
+/// cache seals encoded results in a `stms_types::blob` envelope stamped with
+/// this version; bump it whenever a counter is added, removed or reordered.
+pub const SIM_RESULT_CODEC_VERSION: u16 = 1;
+
+/// Error returned when [`SimResult::decode`] is given a malformed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeResultError {
+    /// The buffer ended before the named field.
+    Truncated {
+        /// Which encoded field was cut off.
+        what: &'static str,
+    },
+    /// A string field held bytes that were not UTF-8.
+    InvalidString,
+    /// Extra bytes followed the last field.
+    TrailingData,
+}
+
+impl fmt::Display for DecodeResultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeResultError::Truncated { what } => {
+                write!(f, "malformed sim result: truncated at {what}")
+            }
+            DecodeResultError::InvalidString => {
+                write!(f, "malformed sim result: string not utf-8")
+            }
+            DecodeResultError::TrailingData => {
+                write!(f, "malformed sim result: trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeResultError {}
+
+struct ResultReader<'a> {
+    data: &'a [u8],
+}
+
+impl ResultReader<'_> {
+    fn u64(&mut self, what: &'static str) -> Result<u64, DecodeResultError> {
+        let (head, rest) = self
+            .data
+            .split_at_checked(8)
+            .ok_or(DecodeResultError::Truncated { what })?;
+        self.data = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, DecodeResultError> {
+        let len = self.u64(what)? as usize;
+        let (head, rest) = self
+            .data
+            .split_at_checked(len)
+            .ok_or(DecodeResultError::Truncated { what })?;
+        self.data = rest;
+        String::from_utf8(head.to_vec()).map_err(|_| DecodeResultError::InvalidString)
+    }
+}
+
+impl SimResult {
+    /// Encodes the result as a compact little-endian binary record
+    /// (length-prefixed strings followed by every counter in declaration
+    /// order), for persistence in the campaign's on-disk result cache.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.prefetcher.len() + self.workload.len());
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        put_str(&mut out, &self.prefetcher);
+        put_str(&mut out, &self.workload);
+        for counter in self.counters() {
+            out.extend_from_slice(&counter.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a result previously produced by [`SimResult::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeResultError`] when the buffer is truncated, holds a
+    /// non-UTF-8 string, or carries trailing bytes. Cache readers treat any
+    /// error as a miss and re-run the simulation.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeResultError> {
+        let mut r = ResultReader { data };
+        let prefetcher = r.string("prefetcher")?;
+        let workload = r.string("workload")?;
+        let mut result = SimResult {
+            prefetcher,
+            workload,
+            ..SimResult::default()
+        };
+        let mut counters = [0u64; SimResult::COUNTER_FIELDS];
+        for (i, slot) in counters.iter_mut().enumerate() {
+            *slot = r.u64(COUNTER_NAMES[i])?;
+        }
+        result.set_counters(&counters);
+        if !r.data.is_empty() {
+            return Err(DecodeResultError::TrailingData);
+        }
+        Ok(result)
+    }
+
+    /// Number of `u64` counters in the binary encoding.
+    const COUNTER_FIELDS: usize = 22;
+
+    /// Every counter in encoding order. The exhaustive destructuring ties
+    /// the codec to the struct definition: adding a field will not compile
+    /// until it is encoded (and [`SIM_RESULT_CODEC_VERSION`] is bumped).
+    fn counters(&self) -> [u64; Self::COUNTER_FIELDS] {
+        let SimResult {
+            prefetcher: _,
+            workload: _,
+            instructions,
+            cycles,
+            accesses,
+            l1_hits,
+            l2_hits,
+            uncovered_misses,
+            stream_lost_misses,
+            covered_full,
+            covered_partial,
+            write_misses,
+            prefetches_issued,
+            prefetches_used,
+            prefetches_unused,
+            miss_epochs,
+            epoch_misses,
+            traffic,
+        } = self;
+        let TrafficStats {
+            demand_fill,
+            writeback,
+            stride_prefetch,
+            prefetch_data,
+            meta_lookup,
+            meta_update,
+            meta_record,
+        } = traffic;
+        [
+            *instructions,
+            *cycles,
+            *accesses,
+            *l1_hits,
+            *l2_hits,
+            *uncovered_misses,
+            *stream_lost_misses,
+            *covered_full,
+            *covered_partial,
+            *write_misses,
+            *prefetches_issued,
+            *prefetches_used,
+            *prefetches_unused,
+            *miss_epochs,
+            *epoch_misses,
+            *demand_fill,
+            *writeback,
+            *stride_prefetch,
+            *prefetch_data,
+            *meta_lookup,
+            *meta_update,
+            *meta_record,
+        ]
+    }
+
+    fn set_counters(&mut self, c: &[u64; Self::COUNTER_FIELDS]) {
+        [
+            self.instructions,
+            self.cycles,
+            self.accesses,
+            self.l1_hits,
+            self.l2_hits,
+            self.uncovered_misses,
+            self.stream_lost_misses,
+            self.covered_full,
+            self.covered_partial,
+            self.write_misses,
+            self.prefetches_issued,
+            self.prefetches_used,
+            self.prefetches_unused,
+            self.miss_epochs,
+            self.epoch_misses,
+            self.traffic.demand_fill,
+            self.traffic.writeback,
+            self.traffic.stride_prefetch,
+            self.traffic.prefetch_data,
+            self.traffic.meta_lookup,
+            self.traffic.meta_update,
+            self.traffic.meta_record,
+        ] = *c;
+    }
+}
+
+/// Field names used in truncation errors, in encoding order.
+const COUNTER_NAMES: [&str; SimResult::COUNTER_FIELDS] = [
+    "instructions",
+    "cycles",
+    "accesses",
+    "l1_hits",
+    "l2_hits",
+    "uncovered_misses",
+    "stream_lost_misses",
+    "covered_full",
+    "covered_partial",
+    "write_misses",
+    "prefetches_issued",
+    "prefetches_used",
+    "prefetches_unused",
+    "miss_epochs",
+    "epoch_misses",
+    "traffic.demand_fill",
+    "traffic.writeback",
+    "traffic.stride_prefetch",
+    "traffic.prefetch_data",
+    "traffic.meta_lookup",
+    "traffic.meta_update",
+    "traffic.meta_record",
+];
+
 /// Per-source overhead traffic, normalized to useful data bytes (Figure 7).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct OverheadBreakdown {
@@ -249,6 +474,40 @@ mod tests {
         assert_eq!(empty.ipc(), 0.0);
         assert_eq!(empty.accuracy(), 0.0);
         assert_eq!(empty.overhead_per_useful_byte(), 0.0);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_field() {
+        let r = sample();
+        let bytes = r.encode();
+        let back = SimResult::decode(&bytes).expect("decode");
+        assert_eq!(back, r);
+        // The default (all-zero) result round-trips too.
+        let empty = SimResult::default();
+        assert_eq!(SimResult::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_buffers() {
+        let bytes = sample().encode();
+        assert!(matches!(
+            SimResult::decode(&bytes[..bytes.len() - 1]),
+            Err(DecodeResultError::Truncated { .. })
+        ));
+        assert!(matches!(
+            SimResult::decode(&[]),
+            Err(DecodeResultError::Truncated { .. })
+        ));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            SimResult::decode(&long),
+            Err(DecodeResultError::TrailingData)
+        );
+        // A string length pointing past the end is truncation, not a panic.
+        let mut huge = bytes;
+        huge[0] = 0xff;
+        assert!(SimResult::decode(&huge).is_err());
     }
 
     #[test]

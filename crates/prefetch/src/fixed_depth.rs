@@ -2,7 +2,7 @@
 //!
 //! This family models the prior-work designs the paper contrasts with STMS:
 //! a set-associative correlation table whose entries store a *fixed-length*
-//! sequence of successor addresses (three to six in EBCP [6], ULMT [23] and
+//! sequence of successor addresses (three to six in EBCP \[6\], ULMT \[23\] and
 //! similar designs). A single lookup can prefetch at most `depth` blocks, so
 //! long temporal streams are fragmented into many lookups (§5.4 and Figure 6,
 //! right). The table can be placed on-chip (idealized, no meta-data traffic)
@@ -27,6 +27,24 @@ pub enum TablePlacement {
     },
 }
 
+// Stable fingerprint so fixed-depth design points can key on-disk memoized
+// results.
+impl stms_types::Fingerprintable for TablePlacement {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        match *self {
+            TablePlacement::OnChip => fp.write_u8(0),
+            TablePlacement::OffChip {
+                lookup_accesses,
+                update_accesses,
+            } => {
+                fp.write_u8(1);
+                fp.write_u32(lookup_accesses);
+                fp.write_u32(update_accesses);
+            }
+        }
+    }
+}
+
 /// Configuration of a fixed-depth correlation prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FixedDepthConfig {
@@ -40,6 +58,24 @@ pub struct FixedDepthConfig {
     pub depth: usize,
     /// Table placement.
     pub placement: TablePlacement,
+}
+
+impl stms_types::Fingerprintable for FixedDepthConfig {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let FixedDepthConfig {
+            cores,
+            entries,
+            associativity,
+            depth,
+            placement,
+        } = self;
+        fp.write_str("FixedDepthConfig/v1");
+        fp.write_usize(*cores);
+        fp.write_usize(*entries);
+        fp.write_usize(*associativity);
+        fp.write_usize(*depth);
+        placement.fingerprint_into(fp);
+    }
 }
 
 impl FixedDepthConfig {

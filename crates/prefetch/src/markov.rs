@@ -22,6 +22,24 @@ pub struct MarkovConfig {
     pub successors: usize,
 }
 
+// Stable fingerprint so Markov design points can key on-disk memoized
+// results.
+impl stms_types::Fingerprintable for MarkovConfig {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let MarkovConfig {
+            cores,
+            entries,
+            associativity,
+            successors,
+        } = self;
+        fp.write_str("MarkovConfig/v1");
+        fp.write_usize(*cores);
+        fp.write_usize(*entries);
+        fp.write_usize(*associativity);
+        fp.write_usize(*successors);
+    }
+}
+
 impl Default for MarkovConfig {
     fn default() -> Self {
         MarkovConfig {

@@ -4,6 +4,7 @@
 //! ```text
 //! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
+//!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
 //!                  [EXPERIMENT ...]
 //! ```
 //!
@@ -11,7 +12,14 @@
 //! selected with `--figures fig5-left,fig8` or as bare positional ids; the
 //! known ids are `table1`, `table2`, `fig1-left`, `fig1-right`, `fig4`,
 //! `fig5-left`, `fig5-right`, `fig6-left`, `fig6-right`, `fig7`, `fig8`,
-//! `fig9`, `ablation-index`.
+//! `fig9`, `ablation-index`, plus the alias `all`.
+//!
+//! `--trace-cache DIR` persists generated traces and `--result-cache DIR`
+//! memoizes finished job outputs across runs (the same directory works for
+//! both); `--cache-verify` cross-checks every loaded entry against its
+//! requesting spec and regenerates on mismatch. A warm run renders
+//! byte-identical stdout while skipping all trace generation and replay;
+//! the cache counters are reported in a `run summary:` block on stderr.
 //!
 //! `--format json` emits one JSON array with one object per figure
 //! (`{"id", "title", "headers", "rows", "notes"}`) for downstream tooling;
@@ -20,9 +28,10 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use stms_sim::campaign::Campaign;
+use stms_sim::campaign::{Campaign, CampaignCaches};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::ExperimentConfig;
+use stms_stats::{CacheReport, RunSummary};
 
 struct Options {
     cfg: ExperimentConfig,
@@ -30,6 +39,7 @@ struct Options {
     selected: Vec<String>,
     format: Format,
     csv_dir: Option<String>,
+    caches: CampaignCaches,
 }
 
 #[derive(PartialEq)]
@@ -42,8 +52,9 @@ fn usage() -> String {
     format!(
         "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
+         \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
          \x20                       [EXPERIMENT ...]\n\
-         experiments: {}",
+         experiments: {} (or `all`)",
         ALL_IDS.join(", ")
     )
 }
@@ -56,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv_dir: Option<String> = None;
     let mut warmup: Option<f64> = None;
     let mut accesses: Option<usize> = None;
+    let mut caches = CampaignCaches::default();
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -111,6 +123,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--csv" => csv_dir = Some(value_of(&mut i, "--csv")?),
+            "--trace-cache" => {
+                caches.trace_dir = Some(value_of(&mut i, "--trace-cache")?.into());
+            }
+            "--result-cache" => {
+                caches.result_dir = Some(value_of(&mut i, "--result-cache")?.into());
+            }
+            "--cache-verify" => caches.verify = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             id => selected.push(id.to_string()),
         }
@@ -131,7 +150,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     cfg.sim.validate().map_err(|e| e.to_string())?;
 
-    if selected.is_empty() {
+    // `all` (anywhere in the selection) and an empty selection both mean
+    // every known experiment.
+    if selected.is_empty() || selected.iter().any(|id| id == "all") {
         selected = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
     Ok(Options {
@@ -140,7 +161,39 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         selected,
         format,
         csv_dir,
+        caches,
     })
+}
+
+/// The stderr `run summary:` block: one line per configured cache tier.
+fn cache_summary(campaign: &Campaign) -> RunSummary {
+    let mut summary = RunSummary::new();
+    let stats = campaign.cache_stats();
+    let trace = stats.trace;
+    if campaign.store().disk_dir().is_some() {
+        summary.push(
+            CacheReport::new(
+                "trace cache",
+                trace.hits + trace.disk_hits,
+                trace.disk_misses,
+            )
+            .with_detail("generated", trace.generated)
+            .with_detail("disk hits", trace.disk_hits)
+            .with_detail("writes", trace.disk_writes)
+            .with_detail("evictions", trace.disk_evictions)
+            .with_detail("resident bytes", trace.disk_bytes),
+        );
+    }
+    if let Some(result) = stats.result {
+        summary.push(
+            CacheReport::new("result cache", result.total_hits(), result.misses)
+                .with_detail("replayed", result.misses)
+                .with_detail("disk hits", result.disk_hits)
+                .with_detail("stores", result.stores)
+                .with_detail("corrupt", result.corrupt),
+        );
+    }
+    summary
 }
 
 fn main() -> ExitCode {
@@ -179,7 +232,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let campaign = Campaign::with_threads(opts.cfg.clone(), opts.threads);
+    let campaign = match Campaign::with_caches(opts.cfg.clone(), opts.threads, opts.caches.clone())
+    {
+        Ok(campaign) => campaign,
+        Err(e) => {
+            eprintln!("error: cannot open cache directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let figures = campaign.run_figures(plans);
 
     let mut failed = false;
@@ -229,6 +289,12 @@ fn main() -> ExitCode {
             "{}",
             serde_json::to_string_pretty(&serde_json::Value::Array(json_items))
         );
+    }
+    // Cache accounting goes to stderr so a warm run's stdout stays
+    // byte-identical to the cold run that populated the cache.
+    let summary = cache_summary(&campaign);
+    if !summary.is_empty() {
+        eprint!("{}", summary.render());
     }
     if failed {
         ExitCode::FAILURE

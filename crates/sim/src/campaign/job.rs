@@ -10,7 +10,7 @@
 use crate::runner::PrefetcherKind;
 use std::fmt;
 use stms_mem::SimResult;
-use stms_types::LineAddr;
+use stms_types::{Fingerprintable, LineAddr};
 
 /// What one job computes.
 #[derive(Debug, Clone)]
@@ -20,6 +20,20 @@ pub enum JobTask {
     /// Capture the baseline off-chip read-miss sequence of each core
     /// (Figure 6 left's offline stream analysis).
     CollectMisses,
+}
+
+// Stable fingerprint so a task can contribute to a persistent result-cache
+// key (replay tasks include the full prefetcher design point).
+impl Fingerprintable for JobTask {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        match self {
+            JobTask::Replay(kind) => {
+                fp.write_u8(0);
+                kind.fingerprint_into(fp);
+            }
+            JobTask::CollectMisses => fp.write_u8(1),
+        }
+    }
 }
 
 /// One schedulable unit: a workload crossed with a task.
@@ -96,7 +110,119 @@ impl JobOutput {
             }
         }
     }
+
+    /// Encodes the output as a compact binary record (a variant tag followed
+    /// by the variant payload), for persistence in the on-disk result cache.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            JobOutput::Sim(result) => {
+                let payload = result.encode();
+                let mut out = Vec::with_capacity(1 + payload.len());
+                out.push(0u8);
+                out.extend_from_slice(&payload);
+                out
+            }
+            JobOutput::MissSequences(seqs) => {
+                let addrs: usize = seqs.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(1 + 8 + seqs.len() * 8 + addrs * 8);
+                out.push(1u8);
+                out.extend_from_slice(&(seqs.len() as u64).to_le_bytes());
+                for core in seqs {
+                    out.extend_from_slice(&(core.len() as u64).to_le_bytes());
+                    for addr in core {
+                        out.extend_from_slice(&addr.raw().to_le_bytes());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Decodes an output previously produced by [`JobOutput::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeJobOutputError`] for an unknown variant tag or a
+    /// malformed payload. Cache readers treat any error as a miss and re-run
+    /// the job.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeJobOutputError> {
+        let truncated = |what| DecodeJobOutputError::Truncated { what };
+        let (&tag, rest) = data.split_first().ok_or(truncated("variant tag"))?;
+        match tag {
+            0 => Ok(JobOutput::Sim(SimResult::decode(rest)?)),
+            1 => {
+                let mut data = rest;
+                let mut u64_field = |what| -> Result<u64, DecodeJobOutputError> {
+                    let (head, rest) = data.split_at_checked(8).ok_or(truncated(what))?;
+                    data = rest;
+                    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+                };
+                let cores = u64_field("core count")? as usize;
+                let mut seqs = Vec::with_capacity(cores.min(1024));
+                for _ in 0..cores {
+                    let len = u64_field("sequence length")? as usize;
+                    let mut seq = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        seq.push(LineAddr::new(u64_field("miss address")?));
+                    }
+                    seqs.push(seq);
+                }
+                if !data.is_empty() {
+                    return Err(DecodeJobOutputError::TrailingData);
+                }
+                Ok(JobOutput::MissSequences(seqs))
+            }
+            tag => Err(DecodeJobOutputError::UnknownVariant { tag }),
+        }
+    }
 }
+
+/// Error returned when [`JobOutput::decode`] is given a malformed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeJobOutputError {
+    /// The buffer ended before the named field.
+    Truncated {
+        /// Which encoded field was cut off.
+        what: &'static str,
+    },
+    /// The leading variant tag named no known [`JobOutput`] variant.
+    UnknownVariant {
+        /// The unknown tag value.
+        tag: u8,
+    },
+    /// The embedded simulation result was malformed.
+    BadSimResult(stms_mem::DecodeResultError),
+    /// Extra bytes followed the last field.
+    TrailingData,
+}
+
+impl From<stms_mem::DecodeResultError> for DecodeJobOutputError {
+    fn from(err: stms_mem::DecodeResultError) -> Self {
+        DecodeJobOutputError::BadSimResult(err)
+    }
+}
+
+impl fmt::Display for DecodeJobOutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeJobOutputError::Truncated { what } => {
+                write!(f, "malformed job output: truncated at {what}")
+            }
+            DecodeJobOutputError::UnknownVariant { tag } => {
+                write!(f, "malformed job output: unknown variant tag {tag}")
+            }
+            DecodeJobOutputError::BadSimResult(err) => {
+                write!(f, "malformed job output: {err}")
+            }
+            DecodeJobOutputError::TrailingData => {
+                write!(f, "malformed job output: trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeJobOutputError {}
 
 /// A job that failed (its simulation panicked).
 #[derive(Debug, Clone, PartialEq, Eq)]

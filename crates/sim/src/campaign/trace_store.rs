@@ -1,4 +1,4 @@
-//! A concurrent cache of generated workload traces.
+//! A two-tier (memory + optional disk) cache of generated workload traces.
 //!
 //! Every figure of the paper replays some subset of the same eight workload
 //! traces, but the seed driver regenerated the trace inside each figure cell
@@ -9,28 +9,128 @@
 //! trace is generated exactly once per campaign no matter how many jobs
 //! request it, and matched comparisons across figures replay bit-identical
 //! inputs.
+//!
+//! # The disk tier
+//!
+//! Just as the paper's meta-data is practical because it lives *off-chip*
+//! and persists across program runs, a store opened with
+//! [`TraceStore::with_disk_tier`] persists each generated trace *across
+//! campaign processes*: the [`stms_types::Trace::encode`] blob is sealed in
+//! a versioned [`stms_types::blob`] envelope and written to
+//! `trace-<fingerprint>.stms`, where the fingerprint is the stable
+//! [`stms_types::Fingerprintable`] content fingerprint of the generating
+//! spec (never `std::hash::Hash`, whose output changes across builds). A
+//! later process re-reads the file instead of regenerating; any stale,
+//! truncated or corrupt file fails the envelope or codec checks and is
+//! silently evicted and regenerated. An optional byte budget
+//! ([`DiskTierConfig::max_bytes`]) evicts the oldest entries after each
+//! write, and [`TraceStoreStats`] accounts for every disk interaction.
+//!
+//! ```
+//! use stms_sim::campaign::{DiskTierConfig, TraceStore};
+//! use stms_workloads::presets;
+//!
+//! let dir = std::env::temp_dir().join("stms-doc-trace-store-disk-tier");
+//! std::fs::remove_dir_all(&dir).ok(); // start cold
+//!
+//! // First process: generates the trace and persists it.
+//! let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+//! let spec = presets::web_apache();
+//! let first = cold.get_or_generate(&spec, 2_000);
+//! assert_eq!(cold.stats().generated, 1);
+//! assert_eq!(cold.stats().disk_writes, 1);
+//!
+//! // "Second process" (a fresh store on the same directory): no generation.
+//! let warm = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+//! let second = warm.get_or_generate(&spec, 2_000);
+//! assert_eq!(warm.stats().generated, 0);
+//! assert_eq!(warm.stats().disk_hits, 1);
+//! assert_eq!(*first, *second); // bit-identical replay input
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-use stms_types::SharedTrace;
+use stms_types::{blob, Fingerprint, Fingerprintable, SharedTrace, Trace, TRACE_CODEC_VERSION};
 use stms_workloads::{generate, WorkloadSpec};
 
 /// Counters describing how a [`TraceStore`] was used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceStoreStats {
-    /// Requests served from an already-present entry (including requests
-    /// that waited while another worker generated the trace).
+    /// Requests served from an already-present memory entry (including
+    /// requests that waited while another worker generated the trace).
     pub hits: u64,
-    /// Requests that created a new entry.
+    /// Requests that created a new memory entry.
     pub misses: u64,
-    /// Traces actually generated. Always equals `misses` once the store is
-    /// idle: each new entry is generated exactly once, even under
-    /// concurrent first requests.
+    /// Traces actually generated. Always equals `misses` minus `disk_hits`
+    /// once the store is idle: each new entry is loaded from disk or
+    /// generated exactly once, even under concurrent first requests.
     pub generated: u64,
+    /// Memory misses served by decoding a persisted trace file.
+    pub disk_hits: u64,
+    /// Memory misses that found no usable trace file (counted only when a
+    /// disk tier is configured).
+    pub disk_misses: u64,
+    /// Unusable trace files evicted after failing the envelope, codec or
+    /// verification checks (a subset of `disk_misses`).
+    pub disk_corrupt: u64,
+    /// Trace files written by this store.
+    pub disk_writes: u64,
+    /// Trace files evicted to respect [`DiskTierConfig::max_bytes`].
+    pub disk_evictions: u64,
+    /// Trace-file size accounting: with a byte budget configured, the bytes
+    /// resident in the directory after the most recent write/eviction scan;
+    /// without one, the cumulative bytes written by this store (the
+    /// directory is not rescanned on every write).
+    pub disk_bytes: u64,
 }
 
-/// A shared, thread-safe store of generated traces keyed by workload spec.
+/// Configuration of the persistent tier of a [`TraceStore`].
+#[derive(Debug, Clone)]
+pub struct DiskTierConfig {
+    /// Directory holding the `trace-<fingerprint>.stms` files (created on
+    /// open; may be shared with a result cache and across processes).
+    pub dir: PathBuf,
+    /// Byte budget for the directory's trace files. After each write the
+    /// oldest entries are evicted until the total is back under budget.
+    /// `None` (the default) never evicts.
+    pub max_bytes: Option<u64>,
+    /// When set, a decoded trace is additionally cross-checked against the
+    /// requesting spec (trace length, workload name, seed, core count), so
+    /// a file whose content was produced by a different generator version
+    /// is detected and regenerated rather than trusted.
+    pub verify: bool,
+}
+
+impl DiskTierConfig {
+    /// A disk tier on `dir` with no byte budget and no deep verification.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskTierConfig {
+            dir: dir.into(),
+            max_bytes: None,
+            verify: false,
+        }
+    }
+
+    /// Returns a copy with a byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Returns a copy with deep verification enabled.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// A shared, thread-safe store of generated traces keyed by workload spec,
+/// with an optional persistent tier (see the module-level docs above).
 ///
 /// # Example
 ///
@@ -47,24 +147,131 @@ pub struct TraceStoreStats {
 #[derive(Debug, Default)]
 pub struct TraceStore {
     entries: Mutex<HashMap<WorkloadSpec, Arc<OnceLock<SharedTrace>>>>,
+    disk: Option<DiskTierConfig>,
     hits: AtomicU64,
     misses: AtomicU64,
     generated: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_corrupt: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_evictions: AtomicU64,
+    disk_bytes: AtomicU64,
+}
+
+/// File-name prefix of persisted traces (distinguishes them from result
+/// files sharing the same cache directory).
+const TRACE_FILE_PREFIX: &str = "trace-";
+/// Shared extension of every persisted cache file.
+pub(crate) const CACHE_FILE_EXT: &str = "stms";
+
+/// A temp-file name unique across processes (pid) *and* across stores and
+/// threads within one process (counter), so concurrent writers of the same
+/// key can never interleave on one temp file; the final `rename` is atomic
+/// and last-writer-wins with identical content.
+pub(crate) fn unique_tmp_name(key: Fingerprint) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        ".tmp-{}-{}-{}.{CACHE_FILE_EXT}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+        key.to_hex()
+    )
+}
+
+/// Reads and unseals one cache file. Shared by both persistent tiers so
+/// the envelope-handling semantics can never diverge between them.
+///
+/// * `Ok(None)` — no file: a plain cold miss, nothing to evict;
+/// * `Err(())` — the file exists but fails the envelope checks: the caller
+///   counts it corrupt and evicts it;
+/// * `Ok(Some(payload))` — the verified payload bytes.
+pub(crate) fn read_sealed(
+    path: &Path,
+    codec_version: u16,
+    key: Fingerprint,
+) -> Result<Option<Vec<u8>>, ()> {
+    let Ok(bytes) = fs::read(path) else {
+        return Ok(None);
+    };
+    match blob::open(&bytes, codec_version, key) {
+        Ok(payload) => Ok(Some(payload.to_vec())),
+        Err(_) => Err(()),
+    }
+}
+
+/// Seals `payload` and atomically publishes it at `path` (unique temp file
+/// in `dir`, then `rename`). Shared by both persistent tiers. Returns
+/// whether the file was published; failures leave no temp litter and are
+/// swallowed by callers — the cache is an optimization, never a
+/// correctness dependency.
+pub(crate) fn write_sealed(
+    dir: &Path,
+    path: &Path,
+    codec_version: u16,
+    key: Fingerprint,
+    payload: &[u8],
+) -> bool {
+    let sealed = blob::seal(codec_version, key, payload);
+    let tmp = dir.join(unique_tmp_name(key));
+    match fs::write(&tmp, &sealed).and_then(|()| fs::rename(&tmp, path)) {
+        Ok(()) => true,
+        Err(_) => {
+            let _ = fs::remove_file(&tmp);
+            false
+        }
+    }
 }
 
 impl TraceStore {
-    /// Creates an empty store.
+    /// Creates an empty, memory-only store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the trace for `spec` at the campaign's trace length,
-    /// generating it on first request.
+    /// Creates a store whose entries persist under `config.dir`, creating
+    /// the directory if needed.
     ///
-    /// Concurrent first requests for the same key generate the trace exactly
-    /// once: the first requester runs the generator while the others block on
-    /// the entry's cell and then share the result. Requests for different
-    /// keys never contend beyond the brief map lookup.
+    /// # Errors
+    ///
+    /// Returns the error from creating the cache directory.
+    pub fn with_disk_tier(config: DiskTierConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        Ok(TraceStore {
+            disk: Some(config),
+            ..Self::default()
+        })
+    }
+
+    /// The persistent tier's directory, when one is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Returns the trace for `spec` at the campaign's trace length, loading
+    /// it from the disk tier or generating it on first request.
+    ///
+    /// ```
+    /// use stms_sim::campaign::TraceStore;
+    /// use stms_workloads::{generate, presets};
+    ///
+    /// let store = TraceStore::new();
+    /// let spec = presets::oltp_db2();
+    /// let trace = store.get_or_generate(&spec, 3_000);
+    /// // The cached handle is bit-identical to direct generation…
+    /// assert_eq!(*trace, generate(&spec.clone().with_accesses(3_000)));
+    /// // …and later requests share it instead of regenerating.
+    /// let again = store.get_or_generate(&spec, 3_000);
+    /// assert!(std::sync::Arc::ptr_eq(&trace, &again));
+    /// ```
+    ///
+    /// Concurrent first requests for the same key resolve the trace exactly
+    /// once: the first requester loads or generates while the others block
+    /// on the entry's cell and then share the result. Requests for different
+    /// keys never contend beyond the brief map lookup. A freshly generated
+    /// trace is persisted before the call returns, so concurrent *processes*
+    /// sharing one directory regenerate at most once each, and any unusable
+    /// cache file is evicted and regenerated instead of surfacing an error.
     pub fn get_or_generate(&self, spec: &WorkloadSpec, accesses: usize) -> SharedTrace {
         let key = spec.clone().with_accesses(accesses);
         let cell = {
@@ -82,15 +289,105 @@ impl TraceStore {
                 }
             }
         };
-        // Generation happens outside the map lock so other keys proceed.
-        Arc::clone(cell.get_or_init(|| {
-            self.generated.fetch_add(1, Ordering::Relaxed);
-            generate(&key).into_shared()
-        }))
+        // Resolution happens outside the map lock so other keys proceed.
+        Arc::clone(cell.get_or_init(|| self.resolve(&key)))
     }
 
-    /// Number of distinct traces currently cached (including any still being
-    /// generated).
+    /// Loads `key` from the disk tier or generates (and persists) it.
+    fn resolve(&self, key: &WorkloadSpec) -> SharedTrace {
+        let Some(disk) = &self.disk else {
+            self.generated.fetch_add(1, Ordering::Relaxed);
+            return generate(key).into_shared();
+        };
+        let fingerprint = key.fingerprint();
+        if let Some(trace) = self.load_from_disk(disk, key, fingerprint) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return trace.into_shared();
+        }
+        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        let trace = generate(key);
+        self.persist(disk, &trace, fingerprint);
+        trace.into_shared()
+    }
+
+    /// Attempts to read, unseal and decode the cache file for `key`,
+    /// evicting it on any failure.
+    fn load_from_disk(
+        &self,
+        disk: &DiskTierConfig,
+        key: &WorkloadSpec,
+        fingerprint: Fingerprint,
+    ) -> Option<Trace> {
+        let path = trace_path(&disk.dir, fingerprint);
+        let payload = match read_sealed(&path, TRACE_CODEC_VERSION, fingerprint) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return None, // plain cold miss
+            Err(()) => {
+                self.evict_corrupt(&path);
+                return None;
+            }
+        };
+        let trace = Trace::decode(&payload)
+            .ok()
+            .filter(|trace| !disk.verify || trace_matches_spec(trace, key));
+        if trace.is_none() {
+            // Stale or corrupt behind a valid envelope: evict so the
+            // regenerated trace replaces it.
+            self.evict_corrupt(&path);
+        }
+        trace
+    }
+
+    fn evict_corrupt(&self, path: &Path) {
+        self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(path);
+    }
+
+    /// Writes the sealed trace blob atomically, then enforces the byte
+    /// budget. Persistence failures are deliberately swallowed: the cache
+    /// is an optimization, never a correctness dependency.
+    fn persist(&self, disk: &DiskTierConfig, trace: &Trace, fingerprint: Fingerprint) {
+        let path = trace_path(&disk.dir, fingerprint);
+        let payload = trace.encode();
+        if !write_sealed(&disk.dir, &path, TRACE_CODEC_VERSION, fingerprint, &payload) {
+            return;
+        }
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(disk, &path, blob::sealed_len(payload.len()) as u64);
+    }
+
+    /// Evicts the oldest trace files until the directory's trace bytes fit
+    /// the budget again (never evicting the file just written), and updates
+    /// the resident-bytes gauge. Without a budget there is nothing to
+    /// evict, so the gauge is advanced without scanning the directory — a
+    /// shared cache directory would otherwise pay an O(files) metadata scan
+    /// per write.
+    fn enforce_budget(&self, disk: &DiskTierConfig, just_written: &Path, written_bytes: u64) {
+        let Some(budget) = disk.max_bytes else {
+            self.disk_bytes.fetch_add(written_bytes, Ordering::Relaxed);
+            return;
+        };
+        let mut files = match list_trace_files(&disk.dir) {
+            Ok(files) => files,
+            Err(_) => return,
+        };
+        let mut total: u64 = files.iter().map(|f| f.bytes).sum();
+        files.sort_by_key(|f| f.modified);
+        for file in &files {
+            if total <= budget || file.path == just_written {
+                continue;
+            }
+            if fs::remove_file(&file.path).is_ok() {
+                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                total -= file.bytes;
+            }
+        }
+        self.disk_bytes.store(total, Ordering::Relaxed);
+    }
+
+    /// Number of distinct traces currently cached in memory (including any
+    /// still being resolved).
     pub fn len(&self) -> usize {
         self.entries
             .lock()
@@ -98,7 +395,7 @@ impl TraceStore {
             .len()
     }
 
-    /// Whether the store holds no traces.
+    /// Whether the memory tier holds no traces.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -109,26 +406,93 @@ impl TraceStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             generated: self.generated.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached trace and resets the counters (frees the memory of
-    /// a finished campaign without discarding the store).
+    /// Drops every cached trace from the memory tier and resets the
+    /// counters (frees the memory of a finished campaign without discarding
+    /// the store). Persisted files are left in place — they are the point
+    /// of the disk tier.
     pub fn clear(&self) {
         self.entries
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.generated.store(0, Ordering::Relaxed);
+        for counter in [
+            &self.hits,
+            &self.misses,
+            &self.generated,
+            &self.disk_hits,
+            &self.disk_misses,
+            &self.disk_corrupt,
+            &self.disk_writes,
+            &self.disk_evictions,
+            &self.disk_bytes,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
+}
+
+/// Path of the persisted trace for a spec fingerprint.
+fn trace_path(dir: &Path, fingerprint: Fingerprint) -> PathBuf {
+    dir.join(format!(
+        "{TRACE_FILE_PREFIX}{}.{CACHE_FILE_EXT}",
+        fingerprint.to_hex()
+    ))
+}
+
+/// Deep verification: the decoded trace really is what generating `key`
+/// would produce.
+fn trace_matches_spec(trace: &Trace, key: &WorkloadSpec) -> bool {
+    trace.len() == key.accesses
+        && trace.meta().workload == key.name
+        && trace.meta().seed == key.seed
+        && trace.meta().cores == key.cores
+}
+
+struct CacheFile {
+    path: PathBuf,
+    bytes: u64,
+    modified: std::time::SystemTime,
+}
+
+fn list_trace_files(dir: &Path) -> io::Result<Vec<CacheFile>> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with(TRACE_FILE_PREFIX) || !name.ends_with(&format!(".{CACHE_FILE_EXT}")) {
+            continue;
+        }
+        let meta = entry.metadata()?;
+        files.push(CacheFile {
+            path: entry.path(),
+            bytes: meta.len(),
+            modified: meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+        });
+    }
+    Ok(files)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use stms_workloads::presets;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stms-trace-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn caches_by_full_spec_identity() {
@@ -153,6 +517,8 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.generated, 4);
         assert_eq!(stats.hits, 1);
+        // No disk tier: disk counters stay untouched.
+        assert_eq!(stats.disk_hits + stats.disk_misses + stats.disk_writes, 0);
     }
 
     #[test]
@@ -174,5 +540,130 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.stats(), TraceStoreStats::default());
+    }
+
+    #[test]
+    fn disk_tier_round_trips_across_stores() {
+        let dir = temp_dir("round-trip");
+        let spec = presets::web_apache();
+
+        let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+        let generated = cold.get_or_generate(&spec, 2_000);
+        let stats = cold.stats();
+        assert_eq!(
+            (stats.generated, stats.disk_misses, stats.disk_writes),
+            (1, 1, 1)
+        );
+        assert!(stats.disk_bytes > 0);
+
+        let warm = TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_verify(true)).unwrap();
+        let loaded = warm.get_or_generate(&spec, 2_000);
+        let stats = warm.stats();
+        assert_eq!((stats.generated, stats.disk_hits), (0, 1));
+        assert_eq!(*generated, *loaded);
+
+        // A different key is a cold miss even on a warm directory.
+        let other = warm.get_or_generate(&spec, 2_500);
+        assert_eq!(other.len(), 2_500);
+        assert_eq!(warm.stats().generated, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_fall_back_to_regeneration() {
+        let dir = temp_dir("corrupt");
+        let spec = presets::dss_qry17();
+        let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+        let expect = cold.get_or_generate(&spec, 1_500);
+
+        let path = trace_path(&dir, spec.clone().with_accesses(1_500).fingerprint());
+        assert!(path.is_file());
+        for mutation in ["flip", "truncate", "garbage"] {
+            let mut bytes = fs::read(&path).unwrap();
+            match mutation {
+                "flip" => {
+                    let last = bytes.len() - 10;
+                    bytes[last] ^= 0xff;
+                }
+                "truncate" => bytes.truncate(bytes.len() / 2),
+                _ => bytes = b"not a sealed blob at all".to_vec(),
+            }
+            fs::write(&path, &bytes).unwrap();
+
+            let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+            let regenerated = store.get_or_generate(&spec, 1_500);
+            assert_eq!(*regenerated, *expect, "mutation `{mutation}`");
+            let stats = store.stats();
+            assert_eq!(
+                (stats.disk_corrupt, stats.generated, stats.disk_writes),
+                (1, 1, 1),
+                "mutation `{mutation}` must evict and re-persist"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_detects_stale_content_behind_a_valid_envelope() {
+        let dir = temp_dir("stale");
+        let spec = presets::sci_ocean();
+        let key = spec.clone().with_accesses(1_000);
+
+        // Seal a *different* trace under this key's fingerprint (a stale
+        // file from an older generator, say).
+        let wrong = generate(&spec.clone().with_seed(spec.seed + 1).with_accesses(1_000));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            trace_path(&dir, key.fingerprint()),
+            blob::seal(TRACE_CODEC_VERSION, key.fingerprint(), &wrong.encode()),
+        )
+        .unwrap();
+
+        // Without verify the envelope looks fine and the stale trace wins…
+        let trusting = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+        assert_eq!(trusting.stats().disk_corrupt, 0);
+        assert_eq!(*trusting.get_or_generate(&spec, 1_000), wrong);
+
+        // …with verify the mismatch is detected and regenerated.
+        let verifying =
+            TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_verify(true)).unwrap();
+        let fixed = verifying.get_or_generate(&spec, 1_000);
+        assert_eq!(*fixed, generate(&key));
+        let stats = verifying.stats();
+        assert_eq!((stats.disk_corrupt, stats.generated), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_entries() {
+        let dir = temp_dir("budget");
+        let spec = presets::web_apache();
+
+        // Size one entry, then budget for roughly two.
+        let probe = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+        probe.get_or_generate(&spec, 1_000);
+        let one = probe.stats().disk_bytes;
+        assert!(one > 0);
+
+        let store =
+            TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_max_bytes(one * 5 / 2))
+                .unwrap();
+        for accesses in [1_100, 1_200, 1_300, 1_400] {
+            store.get_or_generate(&spec, accesses);
+        }
+        let stats = store.stats();
+        assert!(
+            stats.disk_evictions >= 2,
+            "evictions: {}",
+            stats.disk_evictions
+        );
+        assert!(
+            stats.disk_bytes <= one * 3,
+            "resident {} bytes exceeds budget",
+            stats.disk_bytes
+        );
+        // The most recent entry always survives its own write.
+        assert!(trace_path(&dir, spec.clone().with_accesses(1_400).fingerprint()).is_file());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -41,8 +41,9 @@ pub use ablation::{
     index_organization_ablation, index_organization_ablation_from, IndexAblation, IndexAblationRow,
 };
 pub use campaign::{
-    Campaign, CampaignError, FigurePlan, JobError, JobOutput, JobPool, JobSpec, JobTask,
-    TraceStore, TraceStoreStats,
+    Campaign, CampaignCacheStats, CampaignCaches, CampaignError, DiskTierConfig, FigurePlan,
+    JobError, JobOutput, JobPool, JobSpec, JobTask, ResultStore, ResultStoreStats, TraceStore,
+    TraceStoreStats,
 };
 pub use experiments::FigureResult;
 pub use runner::{

@@ -29,6 +29,23 @@ pub struct ExperimentConfig {
     pub accesses: usize,
 }
 
+// Stable fingerprint so a campaign configuration can key persistent cache
+// entries: two campaigns share memoized results exactly when system model,
+// engine options and trace length all agree.
+impl stms_types::Fingerprintable for ExperimentConfig {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let ExperimentConfig {
+            system,
+            sim,
+            accesses,
+        } = self;
+        fp.write_str("ExperimentConfig/v1");
+        system.fingerprint_into(fp);
+        sim.fingerprint_into(fp);
+        fp.write_usize(*accesses);
+    }
+}
+
 impl ExperimentConfig {
     /// The system model used by the experiments: the paper's 4-core CMP with
     /// the cache hierarchy scaled down to match the synthetic workloads'

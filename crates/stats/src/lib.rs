@@ -10,7 +10,9 @@
 //! * [`aggregate`] — means, geometric means, batch means and matched-pair
 //!   confidence intervals (the paper's SimFlex-style methodology);
 //! * [`TextTable`] — aligned text / CSV rendering of every reproduced figure
-//!   and table.
+//!   and table;
+//! * [`RunSummary`] — compact cache-hit reporting for campaign run
+//!   summaries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -18,9 +20,11 @@
 pub mod aggregate;
 pub mod cdf;
 pub mod streams;
+pub mod summary;
 pub mod table;
 
 pub use aggregate::{batch_means, geometric_mean, mean, std_dev, MatchedPair};
 pub use cdf::Cdf;
 pub use streams::{analyze_streams, analyze_streams_multi, StreamAnalysis};
+pub use summary::{CacheReport, RunSummary};
 pub use table::{pct, ratio, TextTable};

@@ -1,0 +1,298 @@
+//! A versioned, self-checking envelope for on-disk cache files.
+//!
+//! Both persistent cache tiers of the campaign layer (trace blobs and
+//! memoized job outputs) store *payload codecs that will evolve* in files
+//! *named after cache keys that must never alias*. This module provides the
+//! shared wrapper that makes that safe:
+//!
+//! ```text
+//! magic "STMB" | envelope version u16 | payload codec version u16 |
+//! key fingerprint u128 | payload length u64 | payload bytes |
+//! payload checksum u64 (low half of FNV-1a-128)
+//! ```
+//!
+//! All integers are little-endian. [`open`] verifies every header field and
+//! the payload checksum, so a reader can distinguish "not my format", "a
+//! newer codec I cannot read", "a hash-collision or renamed file"
+//! ([`BlobError::KeyMismatch`]) and plain corruption — and cache tiers treat
+//! *every* failure the same way: discard the file and regenerate.
+//!
+//! # Example
+//!
+//! ```
+//! use stms_types::{blob, Fingerprint};
+//!
+//! let key = Fingerprint::from_raw(42);
+//! let file = blob::seal(3, key, b"payload");
+//! assert_eq!(blob::open(&file, 3, key).unwrap(), b"payload");
+//!
+//! // A different codec version or key refuses to alias:
+//! assert!(blob::open(&file, 4, key).is_err());
+//! assert!(blob::open(&file, 3, Fingerprint::from_raw(43)).is_err());
+//!
+//! // Corruption is caught by the payload checksum:
+//! let mut bad = file.clone();
+//! *bad.last_mut().unwrap() ^= 0xff;
+//! assert!(matches!(blob::open(&bad, 3, key), Err(blob::BlobError::ChecksumMismatch)));
+//! ```
+
+use crate::fingerprint::{Fingerprint, Fingerprinter};
+use std::fmt;
+
+/// Leading magic of every sealed blob: `STMB` ("STMS blob").
+const BLOB_MAGIC: [u8; 4] = *b"STMB";
+
+/// Version of the envelope layout itself (not of the payload codec).
+const ENVELOPE_VERSION: u16 = 1;
+
+/// Fixed header size: magic + envelope version + codec version + key +
+/// payload length.
+const HEADER_LEN: usize = 4 + 2 + 2 + 16 + 8;
+
+/// Why a sealed blob could not be opened.
+///
+/// Marked `#[non_exhaustive]`: future envelope revisions may detect new
+/// failure modes without breaking matches. Cache tiers should treat every
+/// variant identically — evict the file and regenerate the artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BlobError {
+    /// The buffer ended before the named field.
+    Truncated {
+        /// Which field was cut off.
+        what: &'static str,
+    },
+    /// The leading magic was not `STMB` — not a sealed blob at all.
+    BadMagic,
+    /// The envelope layout version is one this build cannot read.
+    UnsupportedEnvelope {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The payload was written by a different payload codec version.
+    CodecVersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version the reader expected.
+        expected: u16,
+    },
+    /// The header's key fingerprint is not the key the reader derived — a
+    /// renamed file or (astronomically unlikely) a fingerprint collision.
+    KeyMismatch,
+    /// The payload bytes do not match their recorded checksum.
+    ChecksumMismatch,
+    /// Extra bytes follow the checksum (a partially-overwritten file).
+    TrailingData,
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::Truncated { what } => write!(f, "sealed blob truncated at {what}"),
+            BlobError::BadMagic => write!(f, "not a sealed blob (bad magic)"),
+            BlobError::UnsupportedEnvelope { found } => {
+                write!(f, "unsupported blob envelope version {found}")
+            }
+            BlobError::CodecVersionMismatch { found, expected } => {
+                write!(f, "payload codec version {found}, expected {expected}")
+            }
+            BlobError::KeyMismatch => write!(f, "blob key fingerprint does not match"),
+            BlobError::ChecksumMismatch => write!(f, "blob payload checksum mismatch"),
+            BlobError::TrailingData => write!(f, "trailing bytes after blob checksum"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_bytes(payload);
+    fp.finish().raw() as u64
+}
+
+/// Total on-disk size of a sealed blob carrying `payload_len` payload
+/// bytes (header + payload + checksum), for cache size accounting.
+pub fn sealed_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len + 8
+}
+
+/// Wraps `payload` in a sealed envelope for the given payload codec version
+/// and cache key.
+pub fn seal(codec_version: u16, key: Fingerprint, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&BLOB_MAGIC);
+    out.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    out.extend_from_slice(&codec_version.to_le_bytes());
+    out.extend_from_slice(&key.raw().to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out
+}
+
+/// Opens a sealed blob, returning the payload slice after verifying the
+/// magic, versions, key fingerprint, payload length and checksum.
+///
+/// # Errors
+///
+/// Returns the first [`BlobError`] encountered; see the variant docs. Any
+/// error means the file is unusable as a cache entry for `key`.
+pub fn open(data: &[u8], codec_version: u16, key: Fingerprint) -> Result<&[u8], BlobError> {
+    let take = |data: &[u8], at: usize, n: usize, what: &'static str| {
+        data.get(at..at + n)
+            .ok_or(BlobError::Truncated { what })
+            .map(<[u8]>::to_vec)
+    };
+    let u16_at = |at: usize, what: &'static str| -> Result<u16, BlobError> {
+        Ok(u16::from_le_bytes(
+            take(data, at, 2, what)?.try_into().expect("2 bytes"),
+        ))
+    };
+    if take(data, 0, 4, "magic")? != BLOB_MAGIC {
+        return Err(BlobError::BadMagic);
+    }
+    let envelope = u16_at(4, "envelope version")?;
+    if envelope != ENVELOPE_VERSION {
+        return Err(BlobError::UnsupportedEnvelope { found: envelope });
+    }
+    let codec = u16_at(6, "codec version")?;
+    if codec != codec_version {
+        return Err(BlobError::CodecVersionMismatch {
+            found: codec,
+            expected: codec_version,
+        });
+    }
+    let found_key = u128::from_le_bytes(
+        take(data, 8, 16, "key fingerprint")?
+            .try_into()
+            .expect("16 bytes"),
+    );
+    if found_key != key.raw() {
+        return Err(BlobError::KeyMismatch);
+    }
+    let len = u64::from_le_bytes(
+        take(data, 24, 8, "payload length")?
+            .try_into()
+            .expect("8 bytes"),
+    ) as usize;
+    // The length field is untrusted on-disk data: all arithmetic on it must
+    // be checked, so a vandalized length is a clean Truncated error rather
+    // than an overflow panic.
+    let payload_end = HEADER_LEN
+        .checked_add(len)
+        .ok_or(BlobError::Truncated { what: "payload" })?;
+    let total = payload_end
+        .checked_add(8)
+        .ok_or(BlobError::Truncated { what: "checksum" })?;
+    let payload = data
+        .get(HEADER_LEN..payload_end)
+        .ok_or(BlobError::Truncated { what: "payload" })?;
+    let recorded = u64::from_le_bytes(
+        take(data, payload_end, 8, "checksum")?
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if recorded != checksum(payload) {
+        return Err(BlobError::ChecksumMismatch);
+    }
+    if data.len() != total {
+        return Err(BlobError::TrailingData);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Fingerprint {
+        Fingerprint::from_raw(0x1234_5678_9abc_def0_1122_3344_5566_7788)
+    }
+
+    #[test]
+    fn round_trip() {
+        let sealed = seal(7, key(), b"hello cache");
+        assert_eq!(open(&sealed, 7, key()).unwrap(), b"hello cache");
+        // Empty payloads are legal.
+        let empty = seal(7, key(), b"");
+        assert_eq!(open(&empty, 7, key()).unwrap(), b"");
+    }
+
+    #[test]
+    fn every_header_field_is_verified() {
+        let sealed = seal(7, key(), b"payload");
+        assert_eq!(
+            open(&[], 7, key()),
+            Err(BlobError::Truncated { what: "magic" })
+        );
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert_eq!(open(&bad, 7, key()), Err(BlobError::BadMagic));
+        let mut bad = sealed.clone();
+        bad[4] = 99;
+        assert_eq!(
+            open(&bad, 7, key()),
+            Err(BlobError::UnsupportedEnvelope { found: 99 })
+        );
+        assert_eq!(
+            open(&sealed, 8, key()),
+            Err(BlobError::CodecVersionMismatch {
+                found: 7,
+                expected: 8
+            })
+        );
+        assert_eq!(
+            open(&sealed, 7, Fingerprint::from_raw(1)),
+            Err(BlobError::KeyMismatch)
+        );
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_caught() {
+        let sealed = seal(7, key(), b"payload bytes");
+        // Flip one payload byte: checksum mismatch.
+        let mut bad = sealed.clone();
+        bad[HEADER_LEN] ^= 0x01;
+        assert_eq!(open(&bad, 7, key()), Err(BlobError::ChecksumMismatch));
+        // Cut the file short anywhere in the payload/checksum: truncated.
+        for cut in [HEADER_LEN + 2, sealed.len() - 1] {
+            assert!(matches!(
+                open(&sealed[..cut], 7, key()),
+                Err(BlobError::Truncated { .. })
+            ));
+        }
+        // Extra appended bytes: trailing data.
+        let mut long = sealed.clone();
+        long.push(0);
+        assert_eq!(open(&long, 7, key()), Err(BlobError::TrailingData));
+    }
+
+    #[test]
+    fn huge_length_field_is_truncation_not_overflow() {
+        // A vandalized payload-length near u64::MAX must not overflow the
+        // bounds arithmetic (debug builds panic on overflow).
+        let mut sealed = seal(7, key(), b"payload");
+        sealed[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            open(&sealed, 7, key()),
+            Err(BlobError::Truncated { .. })
+        ));
+        sealed[24..32].copy_from_slice(&(u64::MAX - 8).to_le_bytes());
+        assert!(matches!(
+            open(&sealed, 7, key()),
+            Err(BlobError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_their_cause() {
+        assert!(BlobError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(BlobError::CodecVersionMismatch {
+            found: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

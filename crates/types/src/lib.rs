@@ -22,12 +22,15 @@
 
 pub mod access;
 pub mod addr;
+pub mod blob;
+pub mod fingerprint;
 pub mod ids;
 pub mod time;
 pub mod trace;
 
 pub use access::{AccessKind, MemAccess};
 pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
+pub use fingerprint::{Fingerprint, Fingerprintable, Fingerprinter};
 pub use ids::CoreId;
 pub use time::Cycle;
-pub use trace::{SharedTrace, Trace, TraceMeta};
+pub use trace::{SharedTrace, Trace, TraceMeta, TRACE_CODEC_VERSION};

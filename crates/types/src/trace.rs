@@ -56,20 +56,72 @@ pub struct Trace {
 }
 
 /// Error returned when decoding a binary trace fails.
+///
+/// Marked `#[non_exhaustive]` so the codec can grow new failure modes (e.g.
+/// a future field with its own validity rule) without a breaking change —
+/// which is what lets the campaign layer's on-disk trace tier evolve the
+/// format while old binaries keep compiling. Callers should treat *any*
+/// variant as "this buffer is not a usable trace" and fall back to
+/// regeneration:
+///
+/// ```
+/// use stms_types::trace::{DecodeTraceError, Trace};
+///
+/// match Trace::decode(&[0u8; 3]) {
+///     Err(DecodeTraceError::Truncated { what }) => assert_eq!(what, "missing magic"),
+///     // A wildcard arm is required: the enum is #[non_exhaustive].
+///     other => panic!("a three-byte buffer cannot decode: {other:?}"),
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecodeTraceError {
-    what: &'static str,
+#[non_exhaustive]
+pub enum DecodeTraceError {
+    /// The buffer ended before the named field was complete.
+    Truncated {
+        /// Which encoded field was cut off.
+        what: &'static str,
+    },
+    /// The buffer does not start with the `STMS` trace magic.
+    BadMagic,
+    /// The workload name bytes were not valid UTF-8.
+    InvalidName,
+    /// An access record carried an access-kind tag the decoder does not
+    /// know.
+    InvalidAccessKind {
+        /// The unknown tag value.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for DecodeTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed binary trace: {}", self.what)
+        match self {
+            DecodeTraceError::Truncated { what } => {
+                write!(f, "malformed binary trace: truncated at {what}")
+            }
+            DecodeTraceError::BadMagic => write!(f, "malformed binary trace: bad magic"),
+            DecodeTraceError::InvalidName => {
+                write!(f, "malformed binary trace: workload name not utf-8")
+            }
+            DecodeTraceError::InvalidAccessKind { tag } => {
+                write!(f, "malformed binary trace: invalid access kind {tag}")
+            }
+        }
     }
 }
 
 impl std::error::Error for DecodeTraceError {}
 
 const TRACE_MAGIC: u32 = 0x53_54_4d_53; // "STMS"
+
+/// Version of the [`Trace::encode`] payload codec.
+///
+/// The on-disk trace cache seals encoded traces in a
+/// [`crate::blob`] envelope stamped with this version; bumping it when the
+/// access record layout changes makes every previously cached file an
+/// explicit [`crate::blob::BlobError::CodecVersionMismatch`] instead of a
+/// silent misread.
+pub const TRACE_CODEC_VERSION: u16 = 1;
 
 impl Trace {
     /// Creates an empty trace with the given metadata.
@@ -171,26 +223,44 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`DecodeTraceError`] if the buffer is truncated, has a wrong
-    /// magic number, or contains an invalid access kind.
+    /// magic number, or contains an invalid access kind. A truncated buffer
+    /// names the field that was cut off, and a foreign buffer fails on its
+    /// magic before anything else is interpreted:
+    ///
+    /// ```
+    /// use stms_types::trace::{DecodeTraceError, Trace};
+    /// use stms_types::{CoreId, LineAddr, MemAccess};
+    ///
+    /// // Chopping the last byte off a valid encoding truncates an access.
+    /// let mut trace = Trace::default();
+    /// trace.push(MemAccess::read(CoreId::new(0), LineAddr::new(7)));
+    /// let bytes = trace.encode();
+    /// let err = Trace::decode(&bytes[..bytes.len() - 1]).unwrap_err();
+    /// assert!(matches!(err, DecodeTraceError::Truncated { what: "truncated access" }));
+    ///
+    /// // A buffer that is not a trace at all is rejected on its magic.
+    /// assert_eq!(
+    ///     Trace::decode(b"PNG..not a trace").unwrap_err(),
+    ///     DecodeTraceError::BadMagic,
+    /// );
+    /// ```
     pub fn decode(mut data: &[u8]) -> Result<Self, DecodeTraceError> {
         fn need(data: &[u8], n: usize, what: &'static str) -> Result<(), DecodeTraceError> {
             if data.remaining() < n {
-                Err(DecodeTraceError { what })
+                Err(DecodeTraceError::Truncated { what })
             } else {
                 Ok(())
             }
         }
         need(data, 4, "missing magic")?;
         if data.get_u32() != TRACE_MAGIC {
-            return Err(DecodeTraceError { what: "bad magic" });
+            return Err(DecodeTraceError::BadMagic);
         }
         need(data, 2, "missing name length")?;
         let name_len = data.get_u16() as usize;
         need(data, name_len, "truncated name")?;
-        let workload =
-            String::from_utf8(data[..name_len].to_vec()).map_err(|_| DecodeTraceError {
-                what: "name not utf-8",
-            })?;
+        let workload = String::from_utf8(data[..name_len].to_vec())
+            .map_err(|_| DecodeTraceError::InvalidName)?;
         data.advance(name_len);
         need(data, 2 + 8 + 8 + 8, "truncated header")?;
         let cores = data.get_u16() as usize;
@@ -207,11 +277,7 @@ impl Trace {
                 0 => AccessKind::Read,
                 1 => AccessKind::Write,
                 2 => AccessKind::InstrFetch,
-                _ => {
-                    return Err(DecodeTraceError {
-                        what: "invalid access kind",
-                    })
-                }
+                tag => return Err(DecodeTraceError::InvalidAccessKind { tag }),
             };
             let compute_gap = data.get_u32();
             accesses.push(MemAccess {

@@ -55,6 +55,26 @@ impl std::hash::Hash for LengthDist {
     }
 }
 
+// The *stable* counterpart of the Hash impl above: same variant tags and
+// -0.0 normalization, but over the build-independent `Fingerprinter` so the
+// value can key on-disk cache files.
+impl stms_types::Fingerprintable for LengthDist {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        match *self {
+            LengthDist::Pareto { min, max, alpha } => {
+                fp.write_u8(0);
+                fp.write_u64(min);
+                fp.write_u64(max);
+                fp.write_f64(alpha);
+            }
+            LengthDist::Fixed(n) => {
+                fp.write_u8(1);
+                fp.write_u64(n);
+            }
+        }
+    }
+}
+
 impl LengthDist {
     /// A bounded Pareto whose median is approximately `median`.
     ///

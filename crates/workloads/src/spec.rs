@@ -150,6 +150,57 @@ impl std::hash::Hash for WorkloadSpec {
     }
 }
 
+// The stable counterpart of the Hash impl above, used to key *on-disk*
+// cache entries: `Hash` output varies across builds, a fingerprint never
+// does. The exhaustive destructuring keeps the two impls honest — adding a
+// generator parameter breaks both until it is hashed here too.
+impl stms_types::Fingerprintable for WorkloadSpec {
+    fn fingerprint_into(&self, fp: &mut stms_types::Fingerprinter) {
+        let WorkloadSpec {
+            name,
+            class,
+            cores,
+            accesses,
+            p_repeat,
+            stream_len,
+            max_pool_streams,
+            shared_pool,
+            p_noise,
+            scan_run,
+            hot_fraction,
+            hot_lines,
+            p_dependent,
+            mean_gap,
+            p_divergence,
+            p_write,
+            seed,
+        } = self;
+        fp.write_str("WorkloadSpec/v1");
+        fp.write_str(name);
+        fp.write_u8(match class {
+            WorkloadClass::Web => 0,
+            WorkloadClass::Oltp => 1,
+            WorkloadClass::Dss => 2,
+            WorkloadClass::Sci => 3,
+        });
+        fp.write_usize(*cores);
+        fp.write_usize(*accesses);
+        fp.write_f64(*p_repeat);
+        stream_len.fingerprint_into(fp);
+        fp.write_usize(*max_pool_streams);
+        fp.write_bool(*shared_pool);
+        fp.write_f64(*p_noise);
+        fp.write_u64(*scan_run);
+        fp.write_f64(*hot_fraction);
+        fp.write_u64(*hot_lines);
+        fp.write_f64(*p_dependent);
+        fp.write_u32(*mean_gap);
+        fp.write_f64(*p_divergence);
+        fp.write_f64(*p_write);
+        fp.write_u64(*seed);
+    }
+}
+
 impl WorkloadSpec {
     /// Approximate number of distinct lines the workload touches, used to
     /// size predictor structures in the experiments.
@@ -297,6 +348,37 @@ mod tests {
             h.finish()
         };
         assert_eq!(digest(&pos), digest(&neg), "so Hash must agree");
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_generator_parameter() {
+        use stms_types::Fingerprintable as _;
+        // Identical specs fingerprint identically…
+        assert_eq!(spec().fingerprint(), spec().fingerprint());
+        // …and any parameter difference is a different key.
+        assert_ne!(
+            spec().fingerprint(),
+            spec().with_accesses(2000).fingerprint()
+        );
+        assert_ne!(spec().fingerprint(), spec().with_seed(2).fingerprint());
+        let mut warped = spec();
+        warped.p_repeat += 1e-9;
+        assert_ne!(spec().fingerprint(), warped.fingerprint());
+        let mut renamed = spec();
+        renamed.name = "test2".into();
+        assert_ne!(spec().fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_pinned_across_builds() {
+        use stms_types::Fingerprintable as _;
+        // The literal below is the contract with already-written cache
+        // directories: if this test fails, the fingerprint layout changed
+        // and the `WorkloadSpec/v1` domain tag must be bumped with it.
+        assert_eq!(
+            spec().fingerprint().to_hex(),
+            "8769f30944145c01e8b771e8008e98de"
+        );
     }
 
     #[test]
