@@ -106,6 +106,49 @@ fn bench_campaign_cold_vs_warm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+
+    // Partitioning the full `--figures all` grid is pure fingerprint
+    // arithmetic; it must stay negligible next to a single replay.
+    group.bench_function("partition_full_grid_2_way", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = stms_sim::experiments::all_plans(&cfg)
+                .iter()
+                .flat_map(|plan| plan.jobs().to_vec())
+                .collect();
+            let distinct = stms_sim::campaign::shard::distinct_jobs(&cfg, &jobs);
+            let shard = stms_sim::ShardSpec::new(1, 2).unwrap();
+            black_box(distinct.iter().filter(|(fp, _)| shard.owns(*fp)).count())
+        })
+    });
+
+    // Seal + open of a realistic manifest (the merge stage's I/O unit).
+    let entries: Vec<_> = (0..128u128)
+        .map(|i| (stms_types::Fingerprint::from_raw(i), vec![0u8; 256]))
+        .collect();
+    let manifest = stms_types::ShardManifest {
+        config: stms_types::Fingerprint::from_raw(7),
+        index: 1,
+        count: 2,
+        entries,
+    };
+    group.bench_function("manifest_seal_and_open_128_entries", |b| {
+        b.iter(|| {
+            let sealed = manifest.seal();
+            black_box(
+                stms_types::ShardManifest::open(&sealed)
+                    .unwrap()
+                    .entries
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_job_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("job_pool");
     group.sample_size(10);
@@ -131,6 +174,7 @@ criterion_group!(
     bench_trace_store,
     bench_disk_tier,
     bench_campaign_cold_vs_warm,
+    bench_sharding,
     bench_job_pool
 );
 criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Command-line driver that regenerates every table and figure of the paper
-//! through one shared campaign (cached traces, bounded job pool).
+//! through one shared campaign (cached traces, bounded job pool), either in
+//! one process or sharded across many.
 //!
 //! ```text
 //! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
 //!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
+//!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]]
 //!                  [EXPERIMENT ...]
 //! ```
 //!
@@ -12,7 +14,11 @@
 //! selected with `--figures fig5-left,fig8` or as bare positional ids; the
 //! known ids are `table1`, `table2`, `fig1-left`, `fig1-right`, `fig4`,
 //! `fig5-left`, `fig5-right`, `fig6-left`, `fig6-right`, `fig7`, `fig8`,
-//! `fig9`, `ablation-index`, plus the alias `all`.
+//! `fig9`, `ablation-index`, `markov-sweep`, plus the alias `all`.
+//!
+//! Figures render **streaming**: each one is printed as soon as its own
+//! jobs complete (in selection order), so the first table appears long
+//! before a many-figure run finishes.
 //!
 //! `--trace-cache DIR` persists generated traces and `--result-cache DIR`
 //! memoizes finished job outputs across runs (the same directory works for
@@ -21,16 +27,38 @@
 //! byte-identical stdout while skipping all trace generation and replay;
 //! the cache counters are reported in a `run summary:` block on stderr.
 //!
+//! # Distributed campaigns
+//!
+//! `--shard I/N` runs only the 1-based `I`-th slice of the deterministic
+//! `N`-way job partition (generate/replay only — nothing renders) and seals
+//! the finished outputs into a manifest under `--shard-out DIR`.
+//! `--merge-shards DIR[,DIR...]` (repeatable) validates the manifests found
+//! in the listed directories and renders the selected figures from them
+//! without running a single simulation; stdout is byte-identical to an
+//! unsharded run of the same selection.
+//!
 //! `--format json` emits one JSON array with one object per figure
-//! (`{"id", "title", "headers", "rows", "notes"}`) for downstream tooling;
+//! (`{"id", "title", "headers", "rows", "notes", "metrics"}`, where
+//! `"metrics"` carries the raw per-replay counters) for downstream tooling;
 //! a figure whose jobs failed becomes `{"id", "error"}` and the exit code
-//! is 1. Usage errors (unknown id/flag, invalid options) exit with 2.
+//! is 1.
+//!
+//! # Exit codes
+//!
+//! * `0` — success (for `--shard`: every owned job sealed);
+//! * `1` — a figure failed to render, a merge was rejected (stale config,
+//!   duplicate or missing shard coverage), or a manifest could not be
+//!   written;
+//! * `2` — usage errors (unknown id/flag, invalid options);
+//! * `3` — a *partial shard*: some jobs failed, but the manifest was still
+//!   sealed with the completed outputs, so CI can retry just this slice.
 
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use stms_sim::campaign::{Campaign, CampaignCaches};
+use stms_sim::campaign::{Campaign, CampaignCaches, ShardSpec};
 use stms_sim::experiments::{self, ALL_IDS};
-use stms_sim::ExperimentConfig;
+use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
 use stms_stats::{CacheReport, RunSummary};
 
 struct Options {
@@ -40,6 +68,9 @@ struct Options {
     format: Format,
     csv_dir: Option<String>,
     caches: CampaignCaches,
+    shard: Option<ShardSpec>,
+    shard_out: Option<PathBuf>,
+    merge_dirs: Vec<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -53,6 +84,7 @@ fn usage() -> String {
         "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
          \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
+         \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]]\n\
          \x20                       [EXPERIMENT ...]\n\
          experiments: {} (or `all`)",
         ALL_IDS.join(", ")
@@ -68,6 +100,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut warmup: Option<f64> = None;
     let mut accesses: Option<usize> = None;
     let mut caches = CampaignCaches::default();
+    let mut shard: Option<ShardSpec> = None;
+    let mut shard_out: Option<PathBuf> = None;
+    let mut merge_dirs: Vec<PathBuf> = Vec::new();
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -130,6 +165,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 caches.result_dir = Some(value_of(&mut i, "--result-cache")?.into());
             }
             "--cache-verify" => caches.verify = true,
+            "--shard" => {
+                let v = value_of(&mut i, "--shard")?;
+                shard = Some(ShardSpec::parse(&v)?);
+            }
+            "--shard-out" => shard_out = Some(value_of(&mut i, "--shard-out")?.into()),
+            "--merge-shards" => {
+                let v = value_of(&mut i, "--merge-shards")?;
+                let before = merge_dirs.len();
+                merge_dirs.extend(
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(PathBuf::from),
+                );
+                // An empty value must not silently fall back to a full
+                // single-process simulation (e.g. an unset `$SHARD_DIRS`).
+                if merge_dirs.len() == before {
+                    return Err(format!(
+                        "--merge-shards requires at least one directory, got `{v}`"
+                    ));
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             id => selected.push(id.to_string()),
         }
@@ -150,6 +207,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     cfg.sim.validate().map_err(|e| e.to_string())?;
 
+    // Sharding flags must form a coherent mode.
+    if shard.is_some() && !merge_dirs.is_empty() {
+        return Err("--shard and --merge-shards are mutually exclusive".into());
+    }
+    if shard.is_some() && shard_out.is_none() {
+        return Err("--shard requires --shard-out DIR for the sealed manifest".into());
+    }
+    if shard.is_none() && shard_out.is_some() {
+        return Err("--shard-out is only meaningful with --shard I/N".into());
+    }
+    // Shard mode renders nothing, so output flags would be silently dead.
+    if shard.is_some() && csv_dir.is_some() {
+        return Err(
+            "--csv has no effect with --shard (nothing renders); use it on the merge".into(),
+        );
+    }
+    if shard.is_some() && format == Format::Json {
+        return Err(
+            "--format json has no effect with --shard (nothing renders); use it on the merge"
+                .into(),
+        );
+    }
+
     // `all` (anywhere in the selection) and an empty selection both mean
     // every known experiment.
     if selected.is_empty() || selected.iter().any(|id| id == "all") {
@@ -162,12 +242,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format,
         csv_dir,
         caches,
+        shard,
+        shard_out,
+        merge_dirs,
     })
 }
 
-/// The stderr `run summary:` block: one line per configured cache tier.
-fn cache_summary(campaign: &Campaign) -> RunSummary {
-    let mut summary = RunSummary::new();
+/// Appends one line per configured cache tier to the stderr `run summary:`
+/// block.
+fn push_cache_reports(summary: &mut RunSummary, campaign: &Campaign) {
     let stats = campaign.cache_stats();
     let trace = stats.trace;
     if campaign.store().disk_dir().is_some() {
@@ -193,7 +276,113 @@ fn cache_summary(campaign: &Campaign) -> RunSummary {
                 .with_detail("corrupt", result.corrupt),
         );
     }
-    summary
+}
+
+/// Shared figure-output stage: prints text renders as they arrive, writes
+/// CSV files, and accumulates JSON items. Used identically by the streaming
+/// single-process path and the merge path, which is what keeps their stdout
+/// byte-identical.
+struct FigureSink<'a> {
+    opts: &'a Options,
+    json_items: Vec<serde_json::Value>,
+    failed: bool,
+}
+
+impl<'a> FigureSink<'a> {
+    fn new(opts: &'a Options) -> Self {
+        FigureSink {
+            opts,
+            json_items: Vec::new(),
+            failed: false,
+        }
+    }
+
+    fn accept(&mut self, figure: Result<FigureResult, stms_sim::CampaignError>) {
+        match figure {
+            Ok(result) => {
+                if self.opts.format == Format::Text {
+                    println!("{}", result.render());
+                }
+                if let Some(dir) = &self.opts.csv_dir {
+                    let path = format!("{dir}/{}.csv", result.id);
+                    match std::fs::File::create(&path)
+                        .and_then(|mut f| f.write_all(result.table.to_csv().as_bytes()))
+                    {
+                        Ok(()) => eprintln!("wrote {path}"),
+                        Err(e) => {
+                            eprintln!("error: cannot write {path}: {e}");
+                            self.failed = true;
+                        }
+                    }
+                }
+                if self.opts.format == Format::Json {
+                    self.json_items.push(result.to_json());
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                self.failed = true;
+                if self.opts.format == Format::Json {
+                    self.json_items.push(serde_json::Value::Object(vec![
+                        (
+                            "id".to_string(),
+                            serde_json::Value::from(err.figure.as_str()),
+                        ),
+                        (
+                            "error".to_string(),
+                            serde_json::Value::from(err.to_string()),
+                        ),
+                    ]));
+                }
+            }
+        }
+    }
+
+    /// Emits the collected JSON document (if in JSON mode) and reports
+    /// whether any figure failed.
+    fn finish(self) -> bool {
+        if self.opts.format == Format::Json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&serde_json::Value::Array(self.json_items))
+            );
+        }
+        self.failed
+    }
+}
+
+/// Runs one shard slice and seals its manifest. See the exit-code contract
+/// in the module docs.
+fn run_shard_mode(
+    campaign: &Campaign,
+    plans: Vec<FigurePlan>,
+    spec: ShardSpec,
+    out_dir: &std::path::Path,
+) -> ExitCode {
+    let run = campaign.run_shard(plans, spec);
+    if let Some(error) = run.error() {
+        eprintln!("error: {error}");
+    }
+    let (path, bytes) = match run.write_manifest(out_dir) {
+        Ok(written) => written,
+        Err(e) => {
+            eprintln!(
+                "error: cannot write shard manifest to `{}`: {e}",
+                out_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("sealed {}", path.display());
+    let mut summary = RunSummary::new();
+    summary.push_shard(run.report(bytes));
+    push_cache_reports(&mut summary, campaign);
+    eprint!("{}", summary.render());
+    if run.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
 }
 
 fn main() -> ExitCode {
@@ -232,67 +421,49 @@ fn main() -> ExitCode {
         }
     }
 
-    let campaign = match Campaign::with_caches(opts.cfg.clone(), opts.threads, opts.caches.clone())
-    {
+    // Merge mode replays nothing, so don't spawn an idle worker fleet.
+    let threads = if opts.merge_dirs.is_empty() {
+        opts.threads
+    } else {
+        1
+    };
+    let campaign = match Campaign::with_caches(opts.cfg.clone(), threads, opts.caches.clone()) {
         Ok(campaign) => campaign,
         Err(e) => {
             eprintln!("error: cannot open cache directory: {e}");
             return ExitCode::from(2);
         }
     };
-    let figures = campaign.run_figures(plans);
 
-    let mut failed = false;
-    let mut json_items: Vec<serde_json::Value> = Vec::new();
-    for figure in figures {
-        match figure {
-            Ok(result) => {
-                if opts.format == Format::Text {
-                    println!("{}", result.render());
-                }
-                if let Some(dir) = &opts.csv_dir {
-                    let path = format!("{dir}/{}.csv", result.id);
-                    match std::fs::File::create(&path)
-                        .and_then(|mut f| f.write_all(result.table.to_csv().as_bytes()))
-                    {
-                        Ok(()) => eprintln!("wrote {path}"),
-                        Err(e) => {
-                            eprintln!("error: cannot write {path}: {e}");
-                            failed = true;
-                        }
-                    }
-                }
-                if opts.format == Format::Json {
-                    json_items.push(result.to_json());
+    // Shard mode: generate/replay one slice, seal, render nothing.
+    if let Some(spec) = opts.shard {
+        let out_dir = opts.shard_out.as_deref().expect("validated in parse_args");
+        return run_shard_mode(&campaign, plans, spec, out_dir);
+    }
+
+    let mut sink = FigureSink::new(&opts);
+    if opts.merge_dirs.is_empty() {
+        // Single-process mode: figures stream out as their jobs complete.
+        campaign.run_figures_streaming(plans, |figure| sink.accept(figure));
+    } else {
+        // Merge mode: hydrate sealed shard outputs, replay nothing.
+        match campaign.merge_shards(plans, &opts.merge_dirs) {
+            Ok(figures) => {
+                for figure in figures {
+                    sink.accept(Ok(figure));
                 }
             }
             Err(err) => {
                 eprintln!("error: {err}");
-                failed = true;
-                if opts.format == Format::Json {
-                    json_items.push(serde_json::Value::Object(vec![
-                        (
-                            "id".to_string(),
-                            serde_json::Value::from(err.figure.as_str()),
-                        ),
-                        (
-                            "error".to_string(),
-                            serde_json::Value::from(err.to_string()),
-                        ),
-                    ]));
-                }
+                return ExitCode::FAILURE;
             }
         }
     }
-    if opts.format == Format::Json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(json_items))
-        );
-    }
+    let failed = sink.finish();
     // Cache accounting goes to stderr so a warm run's stdout stays
     // byte-identical to the cold run that populated the cache.
-    let summary = cache_summary(&campaign);
+    let mut summary = RunSummary::new();
+    push_cache_reports(&mut summary, &campaign);
     if !summary.is_empty() {
         eprint!("{}", summary.render());
     }

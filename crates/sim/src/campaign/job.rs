@@ -8,9 +8,10 @@
 //! through the shared [`super::TraceStore`].
 
 use crate::runner::PrefetcherKind;
+use crate::system::ExperimentConfig;
 use std::fmt;
 use stms_mem::SimResult;
-use stms_types::{Fingerprintable, LineAddr};
+use stms_types::{Fingerprint, Fingerprintable, Fingerprinter, LineAddr};
 
 /// What one job computes.
 #[derive(Debug, Clone)]
@@ -70,6 +71,25 @@ impl JobSpec {
             JobTask::CollectMisses => format!("{} × miss-collection", self.workload.name),
         }
     }
+}
+
+/// The stable identity of one job under one campaign configuration: the
+/// fingerprint of `(spec at the campaign trace length, system model, engine
+/// options, task)`. Two jobs produce bit-identical outputs exactly when
+/// their fingerprints agree, which is what lets the same value key the
+/// persistent [`super::ResultStore`], partition the grid across shards
+/// ([`super::shard`]), and address outputs inside sealed shard manifests.
+pub fn job_fingerprint(cfg: &ExperimentConfig, job: &JobSpec) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    fp.write_str("stms-job-output/v1");
+    job.workload
+        .clone()
+        .with_accesses(cfg.accesses)
+        .fingerprint_into(&mut fp);
+    cfg.system.fingerprint_into(&mut fp);
+    cfg.sim.fingerprint_into(&mut fp);
+    job.task.fingerprint_into(&mut fp);
+    fp.finish()
 }
 
 /// The result of one finished job, mirroring [`JobTask`].
@@ -229,13 +249,25 @@ impl std::error::Error for DecodeJobOutputError {}
 pub struct JobError {
     /// `JobSpec::label()` of the failed job.
     pub job: String,
+    /// Stable [`job_fingerprint`] of the failed job, when the caller had a
+    /// configuration to derive it from. Rendered in the `Display` output
+    /// so a partial-shard failure in a CI log names the exact cache/manifest
+    /// entry to look for.
+    pub fingerprint: Option<Fingerprint>,
     /// The captured panic message.
     pub message: String,
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "job `{}` failed: {}", self.job, self.message)
+        match self.fingerprint {
+            Some(fingerprint) => write!(
+                f,
+                "job `{}` [fp {fingerprint}] failed: {}",
+                self.job, self.message
+            ),
+            None => write!(f, "job `{}` failed: {}", self.job, self.message),
+        }
     }
 }
 
@@ -255,12 +287,56 @@ mod tests {
     }
 
     #[test]
-    fn error_display_names_the_job() {
+    fn error_display_names_the_job_and_fingerprint() {
         let err = JobError {
             job: "w × k".into(),
+            fingerprint: None,
             message: "boom".into(),
         };
         assert_eq!(err.to_string(), "job `w × k` failed: boom");
+        let with_fp = JobError {
+            fingerprint: Some(Fingerprint::from_raw(0xabcd)),
+            ..err
+        };
+        let text = with_fp.to_string();
+        assert!(text.contains("[fp"), "{text}");
+        assert!(text.contains("0000000000000000000000000000abcd"), "{text}");
+        assert!(text.ends_with("failed: boom"), "{text}");
+    }
+
+    #[test]
+    fn job_fingerprints_separate_every_dimension_and_ignore_duplicates() {
+        let cfg = ExperimentConfig::quick();
+        let job = JobSpec::replay(presets::web_apache(), PrefetcherKind::Baseline);
+        let base = job_fingerprint(&cfg, &job);
+        // Identical job (cloned spec): identical fingerprint.
+        assert_eq!(
+            base,
+            job_fingerprint(
+                &cfg,
+                &JobSpec::replay(presets::web_apache(), PrefetcherKind::Baseline)
+            )
+        );
+        // Any varied dimension changes it.
+        assert_ne!(
+            base,
+            job_fingerprint(
+                &cfg,
+                &JobSpec::replay(presets::web_apache(), PrefetcherKind::ideal())
+            )
+        );
+        assert_ne!(
+            base,
+            job_fingerprint(
+                &cfg,
+                &JobSpec::replay(presets::sci_ocean(), PrefetcherKind::Baseline)
+            )
+        );
+        assert_ne!(base, job_fingerprint(&cfg.clone().with_accesses(1), &job));
+        assert_ne!(
+            base,
+            job_fingerprint(&cfg, &JobSpec::collect_misses(presets::web_apache()))
+        );
     }
 
     #[test]

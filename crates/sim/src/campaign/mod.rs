@@ -52,20 +52,24 @@
 mod job;
 mod pool;
 mod result_store;
+pub mod shard;
 mod trace_store;
 
-pub use job::{DecodeJobOutputError, JobError, JobOutput, JobSpec, JobTask};
-pub use pool::{JobPanic, JobPool};
+pub use job::{job_fingerprint, DecodeJobOutputError, JobError, JobOutput, JobSpec, JobTask};
+pub use pool::{BatchHandle, JobPanic, JobPool};
 pub use result_store::{ResultStore, ResultStoreStats, JOB_OUTPUT_CODEC_VERSION};
+pub use shard::{MergeError, MergedShards, ShardSpec};
 pub use trace_store::{DiskTierConfig, TraceStore, TraceStoreStats};
 
 use crate::experiments::FigureResult;
 use crate::runner::run_trace;
 use crate::system::ExperimentConfig;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 use stms_mem::CmpSimulator;
 use stms_prefetch::MissTraceCollector;
+use stms_types::{Fingerprint, Fingerprintable, ShardManifest};
 use stms_workloads::WorkloadSpec;
 
 /// The render stage of a [`FigurePlan`]: folds the plan's job outputs
@@ -117,25 +121,37 @@ impl FigurePlan {
     pub fn job_count(&self) -> usize {
         self.jobs.len()
     }
+
+    /// The plan's jobs, in schedule order (what the shard partitioner and
+    /// the manifest coverage check operate on).
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
 }
 
-/// A figure that could not be rendered because jobs failed.
+/// A figure (or shard slice) that could not be completed because jobs
+/// failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignError {
-    /// Id of the affected figure.
+    /// Id of the affected figure, or a description of the failed slice for
+    /// shard-mode errors (e.g. `"shard 2/4"`).
     pub figure: String,
-    /// Every failed job of that figure.
+    /// The shard the failing jobs ran in, when the campaign was sharded.
+    /// Rendered in the `Display` output so a partial-shard failure in a CI
+    /// log names the exact re-runnable slice.
+    pub shard: Option<ShardSpec>,
+    /// Every failed job, each carrying its stable job fingerprint when one
+    /// could be derived.
     pub failures: Vec<JobError>,
 }
 
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "figure `{}`: {} job(s) failed: ",
-            self.figure,
-            self.failures.len()
-        )?;
+        write!(f, "figure `{}`", self.figure)?;
+        if let Some(shard) = self.shard {
+            write!(f, " (shard {shard})")?;
+        }
+        write!(f, ": {} job(s) failed: ", self.failures.len())?;
         for (i, failure) in self.failures.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
@@ -295,9 +311,38 @@ impl Campaign {
 
     /// Runs a batch of jobs on the pool, resolving traces through the shared
     /// store. Results come back in job order; a panicking simulation yields
-    /// `Err(JobError)` in its slot.
+    /// `Err(JobError)` in its slot (carrying the job's stable fingerprint).
     pub fn run_jobs(&self, jobs: Vec<JobSpec>) -> Vec<Result<JobOutput, JobError>> {
-        let labels: Vec<String> = jobs.iter().map(JobSpec::label).collect();
+        let idents = self.job_idents(&jobs);
+        self.run_jobs_with_idents(jobs, idents)
+    }
+
+    /// [`Campaign::run_jobs`] over labels/fingerprints the caller already
+    /// derived (`idents[i]` must belong to `jobs[i]`); the shard path holds
+    /// them from partitioning and must not recompute.
+    fn run_jobs_with_idents(
+        &self,
+        jobs: Vec<JobSpec>,
+        idents: Vec<(String, Fingerprint)>,
+    ) -> Vec<Result<JobOutput, JobError>> {
+        self.submit_jobs(jobs)
+            .run_to_completion()
+            .into_iter()
+            .zip(&idents)
+            .map(|(outcome, ident)| job_outcome(ident, outcome))
+            .collect()
+    }
+
+    /// Labels and stable fingerprints of a job batch, in job order.
+    fn job_idents(&self, jobs: &[JobSpec]) -> Vec<(String, Fingerprint)> {
+        jobs.iter()
+            .map(|job| (job.label(), job_fingerprint(&self.cfg, job)))
+            .collect()
+    }
+
+    /// Enqueues a batch without waiting (the streaming primitive behind
+    /// [`Campaign::run_figures`]).
+    fn submit_jobs(&self, jobs: Vec<JobSpec>) -> BatchHandle<JobOutput> {
         let tasks: Vec<_> = jobs
             .into_iter()
             .map(|job| {
@@ -307,17 +352,7 @@ impl Campaign {
                 move || execute_job(&cfg, &store, results.as_deref(), job)
             })
             .collect();
-        self.pool
-            .run_batch(tasks)
-            .into_iter()
-            .zip(labels)
-            .map(|(outcome, job)| {
-                outcome.map_err(|panic| JobError {
-                    job,
-                    message: panic.message().to_string(),
-                })
-            })
-            .collect()
+        self.pool.submit_batch(tasks)
     }
 
     /// Runs every workload of a suite with the same prefetcher
@@ -381,38 +416,283 @@ impl Campaign {
     /// another. Each figure then renders from its own slice of the outputs;
     /// figures whose jobs all succeeded render even when other figures
     /// failed.
+    ///
+    /// This is the collecting form of [`Campaign::run_figures_streaming`];
+    /// results are identical, only the delivery timing differs.
     pub fn run_figures(&self, plans: Vec<FigurePlan>) -> Vec<Result<FigureResult, CampaignError>> {
-        let mut all_jobs = Vec::new();
-        let mut parts = Vec::new();
-        for plan in plans {
-            let start = all_jobs.len();
-            all_jobs.extend(plan.jobs);
-            parts.push((plan.id, start..all_jobs.len(), plan.render));
-        }
-        let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
-            self.run_jobs(all_jobs).into_iter().map(Some).collect();
-        parts
-            .into_iter()
-            .map(|(id, range, render)| {
-                let mut oks = Vec::with_capacity(range.len());
-                let mut failures = Vec::new();
-                for slot in &mut outputs[range] {
-                    match slot.take().expect("each output consumed once") {
-                        Ok(output) => oks.push(output),
-                        Err(err) => failures.push(err),
-                    }
-                }
-                if failures.is_empty() {
-                    Ok(render(&self.cfg, oks))
-                } else {
-                    Err(CampaignError {
-                        figure: id,
-                        failures,
-                    })
-                }
-            })
-            .collect()
+        let mut figures = Vec::new();
+        self.run_figures_streaming(plans, |figure| figures.push(figure));
+        figures
     }
+
+    /// Runs many figures as one interleaved batch, delivering each figure
+    /// to `emit` — in plan order — *as soon as its own jobs complete*,
+    /// while later figures' jobs are still running.
+    ///
+    /// Streaming changes time-to-first-table, never content or order: a
+    /// driver that prints each emitted figure produces stdout byte-identical
+    /// to collecting everything first.
+    pub fn run_figures_streaming<F>(&self, plans: Vec<FigurePlan>, mut emit: F)
+    where
+        F: FnMut(Result<FigureResult, CampaignError>),
+    {
+        let (jobs, parts) = flatten_plans(plans);
+        let mut figure_of = vec![0usize; jobs.len()];
+        for (figure, part) in parts.iter().enumerate() {
+            for job in part.range.clone() {
+                figure_of[job] = figure;
+            }
+        }
+        let mut outstanding: Vec<usize> = parts.iter().map(|p| p.range.len()).collect();
+        let mut parts: Vec<Option<FigurePart>> = parts.into_iter().map(Some).collect();
+        let idents = self.job_idents(&jobs);
+        let handle = self.submit_jobs(jobs);
+        let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
+            (0..idents.len()).map(|_| None).collect();
+
+        // Emit every figure that is already complete (no-job figures at the
+        // head render before any simulation finishes).
+        let mut next = 0;
+        let emit_ready = |next: &mut usize,
+                          parts: &mut Vec<Option<FigurePart>>,
+                          outputs: &mut Vec<Option<Result<JobOutput, JobError>>>,
+                          outstanding: &[usize],
+                          emit: &mut F| {
+            while *next < parts.len() && outstanding[*next] == 0 {
+                let part = parts[*next].take().expect("each figure emitted once");
+                emit(finish_figure(&self.cfg, part, outputs));
+                *next += 1;
+            }
+        };
+        emit_ready(&mut next, &mut parts, &mut outputs, &outstanding, &mut emit);
+        for (i, outcome) in handle {
+            outputs[i] = Some(job_outcome(&idents[i], outcome));
+            outstanding[figure_of[i]] -= 1;
+            emit_ready(&mut next, &mut parts, &mut outputs, &outstanding, &mut emit);
+        }
+        debug_assert_eq!(next, parts.len(), "every figure emitted");
+    }
+
+    /// Runs only this shard's slice of the distinct job grid and returns
+    /// the sealed-ready manifest plus any per-job failures (see the
+    /// [`shard`] module docs for the partition contract).
+    ///
+    /// Only the *generate/replay* stage runs — render closures of the plans
+    /// are dropped; the merge stage re-derives them from the same figure
+    /// selection.
+    pub fn run_shard(&self, plans: Vec<FigurePlan>, spec: ShardSpec) -> ShardRun {
+        let (jobs, _parts) = flatten_plans(plans);
+        let distinct = shard::distinct_jobs(&self.cfg, &jobs);
+        let jobs_total = distinct.len() as u64;
+        let owned: Vec<(Fingerprint, JobSpec)> = distinct
+            .into_iter()
+            .filter(|(fingerprint, _)| spec.owns(*fingerprint))
+            .collect();
+        // Labels + the fingerprints partitioning already derived — nothing
+        // is hashed twice.
+        let idents = owned
+            .iter()
+            .map(|(fingerprint, job)| (job.label(), *fingerprint))
+            .collect();
+        let results =
+            self.run_jobs_with_idents(owned.iter().map(|(_, job)| job.clone()).collect(), idents);
+        let mut entries = Vec::with_capacity(owned.len());
+        let mut failures = Vec::new();
+        for ((fingerprint, _), result) in owned.iter().zip(results) {
+            match result {
+                Ok(output) => entries.push((*fingerprint, output.encode())),
+                Err(err) => failures.push(err),
+            }
+        }
+        ShardRun {
+            spec,
+            jobs_total,
+            jobs_owned: owned.len() as u64,
+            manifest: ShardManifest {
+                config: self.cfg.fingerprint(),
+                index: spec.index,
+                count: spec.count,
+                entries,
+            },
+            failures,
+        }
+    }
+
+    /// Merges sealed shard manifests and renders the figures without
+    /// running a single simulation.
+    ///
+    /// Re-derives the job grid from `plans` (which must be built from the
+    /// same figure selection and configuration the shards ran), validates
+    /// the manifest set, hydrates every output, and runs the pure render
+    /// stage — stdout from printing the returned figures is byte-identical
+    /// to an unsharded run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] naming the unusable file, stale
+    /// configuration, duplicate shard/job, or missing coverage.
+    pub fn merge_shards(
+        &self,
+        plans: Vec<FigurePlan>,
+        dirs: &[std::path::PathBuf],
+    ) -> Result<Vec<FigureResult>, MergeError> {
+        let merged = MergedShards::load(&self.cfg, dirs)?;
+        let (jobs, parts) = flatten_plans(plans);
+        // One fingerprint pass serves dedup, coverage and hydration alike.
+        let fingerprints = shard::job_fingerprints(&self.cfg, &jobs);
+        let distinct = shard::distinct_with(&fingerprints, &jobs);
+        let hydrated = merged.hydrate(&distinct)?;
+        let mut outputs: Vec<Option<Result<JobOutput, JobError>>> = fingerprints
+            .iter()
+            .map(|fingerprint| Some(Ok(hydrated[fingerprint].clone())))
+            .collect();
+        Ok(parts
+            .into_iter()
+            .map(|part| {
+                finish_figure(&self.cfg, part, &mut outputs)
+                    .expect("hydration provided every output")
+            })
+            .collect())
+    }
+}
+
+/// The outcome of one shard execution ([`Campaign::run_shard`]): the
+/// manifest to seal, the failures to report, and the counters for the run
+/// summary.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// Which slice ran.
+    pub spec: ShardSpec,
+    /// Distinct jobs in the whole campaign grid.
+    pub jobs_total: u64,
+    /// Distinct jobs this shard owns.
+    pub jobs_owned: u64,
+    /// The manifest carrying every *successful* owned job's output.
+    pub manifest: ShardManifest,
+    /// Owned jobs that failed; the manifest is still sealable (a partial
+    /// shard), and the merge stage will report the gap as incomplete
+    /// coverage.
+    pub failures: Vec<JobError>,
+}
+
+impl ShardRun {
+    /// Whether every owned job succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Seals and writes the manifest into `dir`, returning the path and
+    /// sealed size.
+    ///
+    /// # Errors
+    ///
+    /// See [`shard::write_manifest`].
+    pub fn write_manifest(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<(std::path::PathBuf, u64)> {
+        shard::write_manifest(dir, &self.manifest)
+    }
+
+    /// The run-summary line data for this shard execution.
+    pub fn report(&self, manifest_bytes: u64) -> stms_stats::ShardReport {
+        stms_stats::ShardReport {
+            index: self.spec.index,
+            count: self.spec.count,
+            jobs_total: self.jobs_total,
+            jobs_owned: self.jobs_owned,
+            jobs_sealed: self.manifest.entries.len() as u64,
+            jobs_failed: self.failures.len() as u64,
+            manifest_bytes,
+        }
+    }
+
+    /// The failures as one [`CampaignError`] carrying the shard context,
+    /// or `None` when the shard completed.
+    pub fn error(&self) -> Option<CampaignError> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        Some(CampaignError {
+            figure: format!("shard {}", self.spec),
+            shard: Some(self.spec),
+            failures: self.failures.clone(),
+        })
+    }
+}
+
+/// Converts one pool outcome into the campaign's per-job result, attaching
+/// the job's label and stable fingerprint to a captured panic.
+fn job_outcome(
+    ident: &(String, Fingerprint),
+    outcome: Result<JobOutput, JobPanic>,
+) -> Result<JobOutput, JobError> {
+    let (label, fingerprint) = ident;
+    outcome.map_err(|panic| JobError {
+        job: label.clone(),
+        fingerprint: Some(*fingerprint),
+        message: panic.message().to_string(),
+    })
+}
+
+/// One figure's slice of the flattened grid: its id, its job range, and its
+/// render stage.
+struct FigurePart {
+    id: String,
+    range: Range<usize>,
+    render: RenderFn,
+}
+
+/// Flattens many plans into one ordered job list plus per-figure slices.
+fn flatten_plans(plans: Vec<FigurePlan>) -> (Vec<JobSpec>, Vec<FigurePart>) {
+    let mut all_jobs = Vec::new();
+    let mut parts = Vec::new();
+    for plan in plans {
+        let start = all_jobs.len();
+        all_jobs.extend(plan.jobs);
+        parts.push(FigurePart {
+            id: plan.id,
+            range: start..all_jobs.len(),
+            render: plan.render,
+        });
+    }
+    (all_jobs, parts)
+}
+
+/// Consumes one figure's outputs and renders it (attaching the raw metric
+/// records for `--format json`), or folds its failures into a
+/// [`CampaignError`].
+fn finish_figure(
+    cfg: &ExperimentConfig,
+    part: FigurePart,
+    outputs: &mut [Option<Result<JobOutput, JobError>>],
+) -> Result<FigureResult, CampaignError> {
+    let FigurePart { id, range, render } = part;
+    let mut oks = Vec::with_capacity(range.len());
+    let mut failures = Vec::new();
+    for slot in &mut outputs[range] {
+        match slot.take().expect("each output consumed once") {
+            Ok(output) => oks.push(output),
+            Err(err) => failures.push(err),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(CampaignError {
+            figure: id,
+            shard: None,
+            failures,
+        });
+    }
+    let metrics = oks
+        .iter()
+        .filter_map(|output| match output {
+            JobOutput::Sim(result) => Some(crate::experiments::sim_metrics_json(result)),
+            JobOutput::MissSequences(_) => None,
+        })
+        .collect();
+    let mut figure = render(cfg, oks);
+    figure.metrics = metrics;
+    Ok(figure)
 }
 
 fn collect_sims(
@@ -500,23 +780,114 @@ mod tests {
     }
 
     #[test]
-    fn campaign_error_display_lists_failures() {
+    fn campaign_error_display_lists_failures_with_shard_and_fingerprints() {
         let err = CampaignError {
             figure: "fig4".into(),
+            shard: None,
             failures: vec![
                 JobError {
                     job: "a".into(),
+                    fingerprint: None,
                     message: "x".into(),
                 },
                 JobError {
                     job: "b".into(),
+                    fingerprint: Some(stms_types::Fingerprint::from_raw(0xbeef)),
                     message: "y".into(),
                 },
             ],
         };
         let text = err.to_string();
         assert!(text.contains("fig4"));
+        assert!(!text.contains("(shard"), "{text}");
         assert!(text.contains("2 job(s)"));
-        assert!(text.contains("job `b` failed: y"));
+        assert!(text.contains("job `b` [fp"), "{text}");
+        assert!(text.contains("failed: y"));
+
+        let sharded = CampaignError {
+            shard: Some(ShardSpec { index: 2, count: 4 }),
+            ..err
+        };
+        assert!(sharded.to_string().contains("(shard 2/4)"));
+    }
+
+    #[test]
+    fn streaming_figures_arrive_in_plan_order_with_identical_content() {
+        let campaign = Campaign::with_threads(quick(), 2);
+        let cfg = campaign.cfg().clone();
+        let plans = |cfg: &ExperimentConfig| {
+            vec![
+                crate::experiments::plan_table1(cfg),
+                crate::experiments::plan_table2(cfg),
+                crate::experiments::plan_fig1_right(cfg),
+            ]
+        };
+        let mut streamed = Vec::new();
+        campaign.run_figures_streaming(plans(&cfg), |figure| {
+            streamed.push(figure.expect("no job fails").render());
+        });
+        let collected: Vec<String> = campaign
+            .run_figures(plans(&cfg))
+            .into_iter()
+            .map(|figure| figure.expect("no job fails").render())
+            .collect();
+        assert_eq!(streamed, collected);
+        assert_eq!(streamed.len(), 3);
+        assert!(streamed[0].contains("Table 1"));
+        assert!(streamed[1].contains("Table 2"));
+    }
+
+    #[test]
+    fn shard_runs_partition_the_grid_and_merge_rebuilds_figures() {
+        let dir =
+            std::env::temp_dir().join(format!("stms-campaign-shard-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = quick();
+        let plans = |cfg: &ExperimentConfig| vec![crate::experiments::plan_table2(cfg)];
+
+        // Run both shards of a 2-way partition.
+        let campaign = Campaign::with_threads(cfg.clone(), 2);
+        let mut owned_total = 0;
+        for index in 1..=2 {
+            let spec = ShardSpec::new(index, 2).unwrap();
+            let run = campaign.run_shard(plans(&cfg), spec);
+            assert!(run.is_complete(), "{:?}", run.failures);
+            assert!(run.error().is_none());
+            owned_total += run.jobs_owned;
+            assert_eq!(run.jobs_total, 8, "table2 plans 8 distinct jobs");
+            let (path, bytes) = run.write_manifest(&dir).expect("manifest written");
+            assert!(path.is_file());
+            assert!(bytes > 0);
+            let report = run.report(bytes);
+            assert!(report.is_complete());
+        }
+        assert_eq!(owned_total, 8, "shards cover the grid exactly once");
+
+        // Merge renders identically to a direct run.
+        let direct = campaign
+            .run_figures(plans(&cfg))
+            .pop()
+            .unwrap()
+            .expect("no job fails");
+        let merged = campaign
+            .merge_shards(plans(&cfg), std::slice::from_ref(&dir))
+            .expect("valid manifest set")
+            .pop()
+            .unwrap();
+        assert_eq!(merged.render(), direct.render());
+        assert_eq!(
+            serde_json::to_string(&merged.to_json()),
+            serde_json::to_string(&direct.to_json())
+        );
+
+        // Removing one manifest is incomplete coverage, a typed error.
+        std::fs::remove_file(dir.join("shard-2-of-2.stms")).unwrap();
+        match campaign.merge_shards(plans(&cfg), std::slice::from_ref(&dir)) {
+            Err(MergeError::IncompleteCoverage { missing_shards, .. }) => {
+                assert_eq!(missing_shards, vec![2]);
+            }
+            other => panic!("expected IncompleteCoverage, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -115,6 +115,23 @@ impl JobPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.submit_batch(tasks).run_to_completion()
+    }
+
+    /// Enqueues a batch of jobs without waiting for them, returning a handle
+    /// that yields `(submission index, result)` pairs *in completion order*.
+    ///
+    /// This is the streaming primitive behind
+    /// [`Campaign::run_figures`](crate::campaign::Campaign::run_figures):
+    /// the caller can start consuming (and rendering) early results while
+    /// later jobs are still running. Dropping the handle before draining it
+    /// is safe — outstanding jobs still run to completion on the workers and
+    /// their results are discarded.
+    pub fn submit_batch<T, F>(&self, tasks: Vec<F>) -> BatchHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         type Slot<T> = (usize, Result<T, JobPanic>);
         let count = tasks.len();
         let (result_tx, result_rx): (Sender<Slot<T>>, Receiver<Slot<T>>) = channel();
@@ -135,22 +152,73 @@ impl JobPool {
                     };
                     JobPanic { message }
                 });
-                // The batch submitter may have given up (it never does today);
-                // a dead receiver must not kill the worker.
+                // The batch submitter may have given up (dropped the
+                // handle); a dead receiver must not kill the worker.
                 let _ = result_tx.send((i, outcome));
             });
             queue.send(job).expect("job pool workers alive");
         }
-        drop(result_tx);
+        BatchHandle {
+            rx: result_rx,
+            remaining: count,
+        }
+    }
+}
+
+/// In-flight batch returned by [`JobPool::submit_batch`]: an iterator over
+/// `(submission index, result)` pairs in completion order.
+#[derive(Debug)]
+pub struct BatchHandle<T> {
+    rx: Receiver<(usize, Result<T, JobPanic>)>,
+    remaining: usize,
+}
+
+impl<T> BatchHandle<T> {
+    /// Jobs of the batch that have not been yielded yet.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Blocks until every job of the batch has finished and returns the
+    /// results in submission order (the behaviour of
+    /// [`JobPool::run_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some results were already consumed through the iterator —
+    /// collect a batch either entirely by streaming or entirely here.
+    pub fn run_to_completion(self) -> Vec<Result<T, JobPanic>> {
+        let count = self.remaining;
         let mut results: Vec<Option<Result<T, JobPanic>>> = (0..count).map(|_| None).collect();
-        for _ in 0..count {
-            let (i, outcome) = result_rx.recv().expect("every job reports exactly once");
+        for (i, outcome) in self {
             results[i] = Some(outcome);
         }
         results
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
+    }
+}
+
+impl<T> Iterator for BatchHandle<T> {
+    type Item = (usize, Result<T, JobPanic>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.rx.recv().expect("every job reports exactly once"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T> ExactSizeIterator for BatchHandle<T> {
+    fn len(&self) -> usize {
+        self.remaining
     }
 }
 
@@ -255,6 +323,42 @@ mod tests {
         // The pool still works after a panic.
         let again = pool.run_batch(vec![|| "ok"]);
         assert_eq!(*again[0].as_ref().unwrap(), "ok");
+    }
+
+    #[test]
+    fn submit_batch_streams_results_in_completion_order() {
+        let pool = JobPool::new(2);
+        // One slow job submitted first; fast jobs must be yielded before it
+        // finishes even though it was submitted first.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                0
+            }),
+            Box::new(|| 1),
+            Box::new(|| 2),
+            Box::new(|| 3),
+        ];
+        let mut handle = pool.submit_batch(tasks);
+        assert_eq!(handle.remaining(), 4);
+        let (first_index, first) = handle.next().expect("four results");
+        assert_ne!(first_index, 0, "the slow job cannot complete first");
+        assert_eq!(*first.as_ref().unwrap(), first_index);
+        let mut seen: Vec<usize> = vec![first_index];
+        seen.extend(handle.map(|(i, r)| {
+            assert_eq!(r.unwrap(), i);
+            i
+        }));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dropping_a_batch_handle_leaves_the_pool_usable() {
+        let pool = JobPool::new(1);
+        drop(pool.submit_batch((0..4).map(|i| move || i).collect::<Vec<_>>()));
+        let results = pool.run_batch(vec![|| 7]);
+        assert_eq!(*results[0].as_ref().unwrap(), 7);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
-use stms_types::{Fingerprint, Fingerprintable, Fingerprinter};
+use stms_types::Fingerprint;
 
 /// Version of the [`JobOutput`] *container* layout (variant tags, the
 /// miss-sequence encoding). Bump this when the container itself changes.
@@ -136,21 +136,12 @@ impl ResultStore {
         &self.dir
     }
 
-    /// The stable cache key of one job under one campaign configuration:
-    /// the fingerprint of `(spec at the campaign trace length, system
-    /// model, engine options, task)`. Two campaigns share an entry exactly
-    /// when a replay would be bit-identical.
+    /// The stable cache key of one job under one campaign configuration
+    /// (see [`super::job::job_fingerprint`] — shard partitioning and shard
+    /// manifests key on the same value). Two campaigns share an entry
+    /// exactly when a replay would be bit-identical.
     pub fn job_key(&self, cfg: &ExperimentConfig, job: &JobSpec) -> Fingerprint {
-        let mut fp = Fingerprinter::new();
-        fp.write_str("stms-job-output/v1");
-        job.workload
-            .clone()
-            .with_accesses(cfg.accesses)
-            .fingerprint_into(&mut fp);
-        cfg.system.fingerprint_into(&mut fp);
-        cfg.sim.fingerprint_into(&mut fp);
-        job.task.fingerprint_into(&mut fp);
-        fp.finish()
+        super::job::job_fingerprint(cfg, job)
     }
 
     /// Looks up a memoized output, consulting the memory tier first and

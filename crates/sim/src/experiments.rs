@@ -17,7 +17,7 @@ use crate::runner::PrefetcherKind;
 use crate::system::ExperimentConfig;
 use stms_core::StmsConfig;
 use stms_mem::SimResult;
-use stms_prefetch::FixedDepthConfig;
+use stms_prefetch::{FixedDepthConfig, MarkovConfig};
 use stms_stats::{analyze_streams_multi, geometric_mean, pct, ratio, TextTable};
 use stms_workloads::{presets, WorkloadSpec};
 
@@ -36,6 +36,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig8",
     "fig9",
     "ablation-index",
+    "markov-sweep",
 ];
 
 /// The rendered result of one reproduced table or figure.
@@ -47,6 +48,12 @@ pub struct FigureResult {
     pub table: TextTable,
     /// Free-form notes about what to compare against the paper.
     pub notes: String,
+    /// Raw per-replay metric records ([`sim_metrics_json`]), one per replay
+    /// job of the figure in job order. Populated by the campaign when it
+    /// renders a figure, emitted as the `"metrics"` array of
+    /// [`FigureResult::to_json`] so plotting pipelines read numbers instead
+    /// of re-parsing rendered table cells. Never part of the text render.
+    pub metrics: Vec<serde_json::Value>,
 }
 
 impl FigureResult {
@@ -62,7 +69,9 @@ impl FigureResult {
     }
 
     /// Converts the figure to a JSON value for downstream tooling:
-    /// `{"id", "title", "headers", "rows", "notes"}`.
+    /// `{"id", "title", "headers", "rows", "notes", "metrics"}`, where
+    /// `"metrics"` carries the raw [`stms_mem::SimResult`] fields of every
+    /// replay job (see [`sim_metrics_json`]) alongside the rendered cells.
     pub fn to_json(&self) -> serde_json::Value {
         use serde_json::Value;
         let strings = |items: &[String]| {
@@ -83,6 +92,7 @@ impl FigureResult {
                 Value::Array(self.table.rows().iter().map(|row| strings(row)).collect()),
             ),
             ("notes".to_string(), Value::from(self.notes.as_str())),
+            ("metrics".to_string(), Value::Array(self.metrics.clone())),
         ])
     }
 
@@ -141,12 +151,88 @@ impl FigureResult {
                 ));
             }
         }
+        let metrics = match value.get("metrics") {
+            // Absent: a pre-metrics document; tolerated as empty.
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("field `metrics` is not an array")?
+                .to_vec(),
+        };
         Ok(FigureResult {
             id,
             table: TextTable::from_parts(headers, rows, title),
             notes,
+            metrics,
         })
     }
+}
+
+/// The raw-metrics JSON record of one replay result: every counter of the
+/// [`stms_mem::SimResult`] plus the derived ratios the figures plot, so a
+/// plotting pipeline consuming `--format json` never has to re-parse
+/// rendered strings like `"42.0%"`.
+pub fn sim_metrics_json(result: &SimResult) -> serde_json::Value {
+    use serde_json::Value;
+    let fields: Vec<(&str, Value)> = vec![
+        ("workload", Value::from(result.workload.as_str())),
+        ("prefetcher", Value::from(result.prefetcher.as_str())),
+        ("instructions", Value::from(result.instructions)),
+        ("cycles", Value::from(result.cycles)),
+        ("accesses", Value::from(result.accesses)),
+        ("l1_hits", Value::from(result.l1_hits)),
+        ("l2_hits", Value::from(result.l2_hits)),
+        ("uncovered_misses", Value::from(result.uncovered_misses)),
+        ("stream_lost_misses", Value::from(result.stream_lost_misses)),
+        ("covered_full", Value::from(result.covered_full)),
+        ("covered_partial", Value::from(result.covered_partial)),
+        ("write_misses", Value::from(result.write_misses)),
+        ("prefetches_issued", Value::from(result.prefetches_issued)),
+        ("prefetches_used", Value::from(result.prefetches_used)),
+        ("prefetches_unused", Value::from(result.prefetches_unused)),
+        ("miss_epochs", Value::from(result.miss_epochs)),
+        ("epoch_misses", Value::from(result.epoch_misses)),
+        (
+            "traffic_demand_fill",
+            Value::from(result.traffic.demand_fill),
+        ),
+        ("traffic_writeback", Value::from(result.traffic.writeback)),
+        (
+            "traffic_stride_prefetch",
+            Value::from(result.traffic.stride_prefetch),
+        ),
+        (
+            "traffic_prefetch_data",
+            Value::from(result.traffic.prefetch_data),
+        ),
+        (
+            "traffic_meta_lookup",
+            Value::from(result.traffic.meta_lookup),
+        ),
+        (
+            "traffic_meta_update",
+            Value::from(result.traffic.meta_update),
+        ),
+        (
+            "traffic_meta_record",
+            Value::from(result.traffic.meta_record),
+        ),
+        ("coverage", Value::from(result.coverage())),
+        ("full_coverage", Value::from(result.full_coverage())),
+        ("accuracy", Value::from(result.accuracy())),
+        ("ipc", Value::from(result.ipc())),
+        ("mlp", Value::from(result.mlp())),
+        (
+            "overhead_per_useful_byte",
+            Value::from(result.overhead_per_useful_byte()),
+        ),
+    ];
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_string(), value))
+            .collect(),
+    )
 }
 
 fn workload_suite() -> Vec<WorkloadSpec> {
@@ -222,6 +308,7 @@ pub fn plan_table1(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(vec![k, v]);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "table1".into(),
             table: t,
             notes: "capacities are scaled ~16x below the paper's Table 1 to match the synthetic \
@@ -250,6 +337,7 @@ pub fn plan_table2(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(vec![r.workload.clone(), format!("{:.1}", r.mlp())]);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "table2".into(),
             table: t,
             notes: "paper reports 1.0 (moldyn) to 1.7 (em3d); commercial workloads 1.3-1.6".into(),
@@ -299,7 +387,7 @@ pub fn plan_fig1_left(_cfg: &ExperimentConfig) -> FigurePlan {
                 format!("{}", entries as u64 * crate::system::CAPACITY_SCALE),
             ]);
         }
-        FigureResult {
+        FigureResult { metrics: Vec::new(),
             id: "fig1-left".into(),
             table: t,
             notes: "coverage should keep rising until ~10^5-10^6 scaled entries (10^6-10^7 paper-equivalent)"
@@ -350,6 +438,7 @@ pub fn plan_fig1_right(_cfg: &ExperimentConfig) -> FigurePlan {
             ]);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig1-right".into(),
             table: t,
             notes: "all three prior designs incur roughly 3x the baseline read traffic".into(),
@@ -387,6 +476,7 @@ pub fn plan_fig4(_cfg: &ExperimentConfig) -> FigurePlan {
             ]);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig4".into(),
             table: t,
             notes: "expected shape: Web/OLTP 40-60% coverage with 5-18% speedup, DSS <=20% \
@@ -439,6 +529,7 @@ pub fn plan_fig5_history(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(row);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig5-left".into(),
             table: t,
             notes:
@@ -488,6 +579,7 @@ pub fn plan_fig5_index(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(row);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig5-right".into(),
             table: t,
             notes: "coverage should saturate once the index holds roughly one entry per distinct \
@@ -530,6 +622,7 @@ pub fn plan_fig6_left(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(row);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig6-left".into(),
             table: t,
             notes: "a sizable fraction of streamed blocks comes from streams of <= 10 blocks, but \
@@ -577,6 +670,7 @@ pub fn plan_fig6_right(cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(row);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig6-right".into(),
             table: t,
             notes: "small fixed depths (<= 6) should lose tens of percentage points of coverage \
@@ -637,6 +731,7 @@ pub fn plan_fig7(_cfg: &ExperimentConfig) -> FigurePlan {
         }
         let gmean = geometric_mean(&ratios);
         FigureResult {
+            metrics: Vec::new(),
             id: "fig7".into(),
             table: t,
             notes: format!(
@@ -688,6 +783,7 @@ pub fn plan_fig8(_cfg: &ExperimentConfig) -> FigurePlan {
             t.add_row(row);
         }
         FigureResult {
+            metrics: Vec::new(),
             id: "fig8".into(),
             table: t,
             notes: "traffic falls roughly in proportion to the sampling probability while \
@@ -745,6 +841,7 @@ pub fn plan_fig9(_cfg: &ExperimentConfig) -> FigurePlan {
         }
         let achieved = geometric_mean(&ratios);
         FigureResult {
+            metrics: Vec::new(),
             id: "fig9".into(),
             table: t,
             notes: format!(
@@ -777,6 +874,7 @@ pub fn plan_ablation_index(_cfg: &ExperimentConfig) -> FigurePlan {
                 .into_miss_sequences();
             let ablation = crate::ablation::index_organization_ablation_from(&name, &seqs);
             FigureResult {
+                metrics: Vec::new(),
                 id: "ablation-index".into(),
                 table: ablation.table(),
                 notes: "the bucketized table resolves every lookup with one memory block; the \
@@ -786,6 +884,78 @@ pub fn plan_ablation_index(_cfg: &ExperimentConfig) -> FigurePlan {
             }
         },
     )
+}
+
+/// Plan for the Markov-table sweep (Figure-1-style, §2): coverage of the
+/// pair-wise correlating Markov prefetcher as a function of correlation
+/// table entries, at two successor widths (commercial workloads).
+///
+/// The Markov prefetcher is the simplest correlating baseline the paper
+/// discusses; sweeping its table like Figure 1 sweeps the idealized index
+/// shows the same story — coverage keeps growing past any practical on-chip
+/// capacity — with the added twist that wider successor lists buy little
+/// beyond doubling the storage.
+pub fn plan_markov_sweep(_cfg: &ExperimentConfig) -> FigurePlan {
+    const ENTRY_COUNTS: [usize; 5] = [1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16];
+    const SUCCESSORS: [usize; 2] = [2, 4];
+    let specs = presets::commercial_suite();
+    let per_point = specs.len();
+    let mut jobs = Vec::new();
+    for &successors in &SUCCESSORS {
+        for &entries in &ENTRY_COUNTS {
+            let config = MarkovConfig {
+                entries,
+                successors,
+                ..MarkovConfig::default()
+            };
+            for spec in &specs {
+                jobs.push(JobSpec::replay(
+                    spec.clone(),
+                    PrefetcherKind::Markov(config),
+                ));
+            }
+        }
+    }
+    FigurePlan::new("markov-sweep", jobs, move |_cfg, outputs| {
+        let mut t = TextTable::new(vec![
+            "table entries".into(),
+            "paper-equivalent entries".into(),
+            "avg coverage (2 succ)".into(),
+            "avg coverage (4 succ)".into(),
+        ])
+        .with_title("Markov sweep: coverage vs correlation-table entries (commercial workloads)");
+        let results = sims(outputs);
+        let avg_at = |succ_index: usize, entry_index: usize| -> f64 {
+            let base = (succ_index * ENTRY_COUNTS.len() + entry_index) * per_point;
+            let coverages: Vec<f64> = results[base..base + per_point]
+                .iter()
+                .map(SimResult::coverage)
+                .collect();
+            stms_stats::mean(&coverages)
+        };
+        for (entry_index, &entries) in ENTRY_COUNTS.iter().enumerate() {
+            t.add_row(vec![
+                format!("{entries}"),
+                format!("{}", entries as u64 * crate::system::CAPACITY_SCALE),
+                pct(avg_at(0, entry_index)),
+                pct(avg_at(1, entry_index)),
+            ]);
+        }
+        FigureResult {
+            metrics: Vec::new(),
+            id: "markov-sweep".into(),
+            table: t,
+            notes: "coverage should keep rising with table size (as in Figure 1 left); doubling \
+                    successors costs 2x storage for a much smaller coverage gain — the Markov \
+                    shortcoming §2 discusses"
+                .into(),
+        }
+    })
+}
+
+/// Markov sweep (convenience wrapper; see [`plan_markov_sweep`]).
+pub fn markov_sweep(cfg: &ExperimentConfig) -> FigureResult {
+    run_plan(cfg, plan_markov_sweep(cfg))
 }
 
 /// Convenience: MLP plus baseline statistics for one workload (used in
@@ -811,6 +981,7 @@ pub fn plan_for_id(id: &str, cfg: &ExperimentConfig) -> Option<FigurePlan> {
         "fig8" => plan_fig8(cfg),
         "fig9" => plan_fig9(cfg),
         "ablation-index" => plan_ablation_index(cfg),
+        "markov-sweep" => plan_markov_sweep(cfg),
         _ => return None,
     };
     Some(plan)

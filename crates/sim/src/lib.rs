@@ -14,8 +14,12 @@
 //! * [`runner`] — (workload × prefetcher) convenience runners on top of the
 //!   campaign layer;
 //! * [`experiments`] — one plan per table/figure of the paper (§5);
+//! * [`campaign::shard`] — distributed campaigns: deterministic
+//!   fingerprint-based job partitioning, sealed shard manifests, and a
+//!   merge stage that renders byte-identical output from shard slices;
 //! * the `stms-experiments` binary — command-line front end
-//!   (`--figures`, `--threads`, `--format text|json`).
+//!   (`--figures`, `--threads`, `--format text|json`, `--shard I/N`,
+//!   `--merge-shards DIR`).
 //!
 //! # Example
 //!
@@ -41,9 +45,9 @@ pub use ablation::{
     index_organization_ablation, index_organization_ablation_from, IndexAblation, IndexAblationRow,
 };
 pub use campaign::{
-    Campaign, CampaignCacheStats, CampaignCaches, CampaignError, DiskTierConfig, FigurePlan,
-    JobError, JobOutput, JobPool, JobSpec, JobTask, ResultStore, ResultStoreStats, TraceStore,
-    TraceStoreStats,
+    job_fingerprint, Campaign, CampaignCacheStats, CampaignCaches, CampaignError, DiskTierConfig,
+    FigurePlan, JobError, JobOutput, JobPool, JobSpec, JobTask, MergeError, MergedShards,
+    ResultStore, ResultStoreStats, ShardRun, ShardSpec, TraceStore, TraceStoreStats,
 };
 pub use experiments::FigureResult;
 pub use runner::{

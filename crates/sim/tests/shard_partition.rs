@@ -1,0 +1,185 @@
+//! Property tests for the deterministic shard partitioner: for any job list
+//! and any shard count `N`, the shards must be pairwise disjoint, cover
+//! every job, be independent of the job-list ordering, and be stable across
+//! "process runs" (a fresh recomputation from equal inputs).
+
+use proptest::prelude::*;
+use stms_sim::campaign::{job_fingerprint, shard::distinct_jobs, JobSpec, ShardSpec};
+use stms_sim::{ExperimentConfig, PrefetcherKind};
+use stms_workloads::presets;
+
+/// A small pool of distinct workloads to draw from.
+fn workload(index: usize) -> stms_workloads::WorkloadSpec {
+    let pool = [
+        presets::web_apache(),
+        presets::web_zeus(),
+        presets::oltp_db2(),
+        presets::oltp_oracle(),
+        presets::dss_qry17(),
+        presets::sci_ocean(),
+    ];
+    pool[index % pool.len()].clone()
+}
+
+/// Decodes one drawn case into a concrete job. The integers are the
+/// generator's whole output, so equal draws always rebuild equal jobs.
+fn job(workload_index: usize, kind_code: usize, parameter: usize) -> JobSpec {
+    let spec = workload(workload_index);
+    match kind_code % 4 {
+        0 => JobSpec::replay(spec, PrefetcherKind::Baseline),
+        1 => JobSpec::replay(
+            spec,
+            PrefetcherKind::IdealTms {
+                index_entries: Some(1 << (8 + parameter % 8)),
+                history_entries: 1 << 16,
+            },
+        ),
+        2 => JobSpec::replay(
+            spec,
+            PrefetcherKind::stms_with_sampling(1.0 / (1 + parameter % 16) as f64),
+        ),
+        _ => JobSpec::collect_misses(spec),
+    }
+}
+
+/// Strategy: a job list as raw draw tuples (kept as data so a test can
+/// rebuild identical jobs for the stability property).
+fn arb_job_draws() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec((0usize..6, 0usize..4, 0usize..64), 0..40)
+}
+
+fn build_jobs(draws: &[(usize, usize, usize)]) -> Vec<JobSpec> {
+    draws.iter().map(|&(w, k, p)| job(w, k, p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shards_are_disjoint_and_cover_every_job(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+    ) {
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        let distinct = distinct_jobs(&cfg, &jobs);
+
+        // Every distinct job is owned by exactly one of the N shards.
+        for (fingerprint, job) in &distinct {
+            let owners: Vec<u32> = (1..=count)
+                .filter(|&index| ShardSpec::new(index, count).unwrap().owns(*fingerprint))
+                .collect();
+            prop_assert_eq!(
+                owners.len(),
+                1,
+                "job `{}` owned by shards {:?} of {}",
+                job.label(),
+                owners,
+                count
+            );
+        }
+
+        // The per-shard slices partition the distinct set exactly.
+        let total_owned: usize = (1..=count)
+            .map(|index| {
+                let shard = ShardSpec::new(index, count).unwrap();
+                distinct.iter().filter(|(fp, _)| shard.owns(*fp)).count()
+            })
+            .sum();
+        prop_assert_eq!(total_owned, distinct.len());
+    }
+
+    #[test]
+    fn assignment_ignores_job_list_order(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+        rotation in 0usize..40,
+    ) {
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        // A rotation is an order change that keeps the multiset intact.
+        let mut rotated = jobs.clone();
+        if !rotated.is_empty() {
+            let mid = rotation % rotated.len();
+            rotated.rotate_left(mid);
+        }
+
+        let assignment = |jobs: &[JobSpec]| -> Vec<(u128, u32)> {
+            let mut owned: Vec<(u128, u32)> = distinct_jobs(&cfg, jobs)
+                .into_iter()
+                .map(|(fp, _)| {
+                    let owner = (1..=count)
+                        .find(|&index| ShardSpec::new(index, count).unwrap().owns(fp))
+                        .expect("exactly one owner");
+                    (fp.raw(), owner)
+                })
+                .collect();
+            owned.sort_unstable();
+            owned
+        };
+        prop_assert_eq!(assignment(&jobs), assignment(&rotated));
+    }
+
+    #[test]
+    fn assignment_is_stable_across_recomputation(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+    ) {
+        // A "second process": rebuild everything from the same draws. The
+        // fingerprints are content hashes, so equal inputs must reproduce
+        // the identical partition (nothing depends on allocation order,
+        // HashMap iteration, or process identity).
+        let cfg = ExperimentConfig::quick();
+        let first = build_jobs(&draws);
+        let second = build_jobs(&draws);
+        for (a, b) in first.iter().zip(&second) {
+            let fa = job_fingerprint(&cfg, a);
+            let fb = job_fingerprint(&cfg, b);
+            prop_assert_eq!(fa, fb);
+            for index in 1..=count {
+                let shard = ShardSpec::new(index, count).unwrap();
+                prop_assert_eq!(shard.owns(fa), shard.owns(fb));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything(draws in arb_job_draws()) {
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        let shard = ShardSpec::new(1, 1).unwrap();
+        for (fingerprint, _) in distinct_jobs(&cfg, &jobs) {
+            prop_assert!(shard.owns(fingerprint));
+        }
+    }
+}
+
+#[test]
+fn full_campaign_grid_partitions_without_gaps() {
+    // The real thing, not synthetic draws: the full `--figures all` grid.
+    // No figure is simulated — partitioning is pure arithmetic on specs.
+    let cfg = ExperimentConfig::quick();
+    let jobs: Vec<JobSpec> = stms_sim::experiments::all_plans(&cfg)
+        .iter()
+        .flat_map(|plan| plan.jobs().to_vec())
+        .collect();
+    let distinct = distinct_jobs(&cfg, &jobs);
+    assert!(distinct.len() > 100, "the full grid is substantial");
+    assert!(
+        distinct.len() < jobs.len(),
+        "figures share cells, so the distinct set must be smaller"
+    );
+    for count in [2u32, 3, 5] {
+        let owned_sum: usize = (1..=count)
+            .map(|index| {
+                let shard = ShardSpec::new(index, count).unwrap();
+                distinct.iter().filter(|(fp, _)| shard.owns(*fp)).count()
+            })
+            .sum();
+        assert_eq!(
+            owned_sum,
+            distinct.len(),
+            "{count} shards must cover the grid exactly once"
+        );
+    }
+}

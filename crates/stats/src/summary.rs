@@ -82,9 +82,56 @@ impl CacheReport {
     }
 }
 
-/// An ordered collection of [`CacheReport`]s rendered as one block.
+/// Counters of one shard execution of a distributed campaign
+/// (`--shard I/N`), rendered alongside the cache tiers in the stderr
+/// `run summary:` block so CI logs show at a glance which slice of the grid
+/// a process ran and whether it completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// 1-based shard index.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+    /// Distinct jobs of the whole campaign grid.
+    pub jobs_total: u64,
+    /// Distinct jobs this shard owns.
+    pub jobs_owned: u64,
+    /// Owned jobs that finished and were sealed into the manifest.
+    pub jobs_sealed: u64,
+    /// Owned jobs that failed (the difference is diagnosable from the
+    /// accompanying error lines).
+    pub jobs_failed: u64,
+    /// Bytes of the sealed manifest written to the shard directory.
+    pub manifest_bytes: u64,
+}
+
+impl ShardReport {
+    /// Whether every owned job was sealed.
+    pub fn is_complete(&self) -> bool {
+        self.jobs_failed == 0 && self.jobs_sealed == self.jobs_owned
+    }
+
+    /// One summary line, e.g.
+    /// `shard 1/2: 56 of 113 jobs owned, 56 sealed, 0 failed (manifest 12345 bytes)`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "shard {}/{}: {} of {} jobs owned, {} sealed, {} failed (manifest {} bytes)",
+            self.index,
+            self.count,
+            self.jobs_owned,
+            self.jobs_total,
+            self.jobs_sealed,
+            self.jobs_failed,
+            self.manifest_bytes
+        )
+    }
+}
+
+/// An ordered collection of [`ShardReport`]s and [`CacheReport`]s rendered
+/// as one block.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
+    shards: Vec<ShardReport>,
     reports: Vec<CacheReport>,
 }
 
@@ -99,18 +146,28 @@ impl RunSummary {
         self.reports.push(report);
     }
 
+    /// Appends one shard's report (rendered before the cache tiers).
+    pub fn push_shard(&mut self, report: ShardReport) {
+        self.shards.push(report);
+    }
+
     /// Whether any report was added.
     pub fn is_empty(&self) -> bool {
-        self.reports.is_empty()
+        self.reports.is_empty() && self.shards.is_empty()
     }
 
     /// The rendered block: a `run summary:` header plus one indented line
-    /// per tier. Empty summaries render as an empty string.
+    /// per shard and per tier. Empty summaries render as an empty string.
     pub fn render(&self) -> String {
-        if self.reports.is_empty() {
+        if self.is_empty() {
             return String::new();
         }
         let mut out = String::from("run summary:\n");
+        for shard in &self.shards {
+            out.push_str("  ");
+            out.push_str(&shard.render_line());
+            out.push('\n');
+        }
         for report in &self.reports {
             out.push_str("  ");
             out.push_str(&report.render_line());
@@ -141,6 +198,50 @@ mod tests {
             line,
             "results: 10 hits, 2 misses (83.3% hit rate, stores 2, corrupt 1)"
         );
+    }
+
+    #[test]
+    fn shard_report_renders_all_counters() {
+        let report = ShardReport {
+            index: 1,
+            count: 2,
+            jobs_total: 113,
+            jobs_owned: 56,
+            jobs_sealed: 55,
+            jobs_failed: 1,
+            manifest_bytes: 9876,
+        };
+        assert!(!report.is_complete());
+        assert_eq!(
+            report.render_line(),
+            "shard 1/2: 56 of 113 jobs owned, 55 sealed, 1 failed (manifest 9876 bytes)"
+        );
+        let complete = ShardReport {
+            jobs_sealed: 56,
+            jobs_failed: 0,
+            ..report
+        };
+        assert!(complete.is_complete());
+    }
+
+    #[test]
+    fn shard_reports_render_before_cache_tiers() {
+        let mut summary = RunSummary::new();
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_shard(ShardReport {
+            index: 2,
+            count: 2,
+            jobs_total: 10,
+            jobs_owned: 5,
+            jobs_sealed: 5,
+            jobs_failed: 0,
+            manifest_bytes: 1,
+        });
+        assert!(!summary.is_empty());
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert_eq!(lines[0], "run summary:");
+        assert!(lines[1].starts_with("  shard 2/2:"), "{}", lines[1]);
+        assert!(lines[2].starts_with("  traces:"), "{}", lines[2]);
     }
 
     #[test]

@@ -139,6 +139,27 @@ pub fn seal(codec_version: u16, key: Fingerprint, payload: &[u8]) -> Vec<u8> {
 /// Returns the first [`BlobError`] encountered; see the variant docs. Any
 /// error means the file is unusable as a cache entry for `key`.
 pub fn open(data: &[u8], codec_version: u16, key: Fingerprint) -> Result<&[u8], BlobError> {
+    let (found, payload) = open_any(data, codec_version)?;
+    if found != key {
+        return Err(BlobError::KeyMismatch);
+    }
+    Ok(payload)
+}
+
+/// Opens a sealed blob whose key the reader cannot derive in advance,
+/// returning the *recorded* key alongside the verified payload.
+///
+/// Cache tiers always know their key (it names the file) and should use
+/// [`open`]; this variant exists for self-describing artifacts like shard
+/// manifests, whose key is a fingerprint of header fields that live inside
+/// the payload. Such callers must re-derive the key from the decoded payload
+/// and compare it against the returned one themselves.
+///
+/// # Errors
+///
+/// Same as [`open`], except that [`BlobError::KeyMismatch`] is never
+/// returned (the caller owns that check).
+pub fn open_any(data: &[u8], codec_version: u16) -> Result<(Fingerprint, &[u8]), BlobError> {
     let take = |data: &[u8], at: usize, n: usize, what: &'static str| {
         data.get(at..at + n)
             .ok_or(BlobError::Truncated { what })
@@ -168,9 +189,6 @@ pub fn open(data: &[u8], codec_version: u16, key: Fingerprint) -> Result<&[u8], 
             .try_into()
             .expect("16 bytes"),
     );
-    if found_key != key.raw() {
-        return Err(BlobError::KeyMismatch);
-    }
     let len = u64::from_le_bytes(
         take(data, 24, 8, "payload length")?
             .try_into()
@@ -199,7 +217,7 @@ pub fn open(data: &[u8], codec_version: u16, key: Fingerprint) -> Result<&[u8], 
     if data.len() != total {
         return Err(BlobError::TrailingData);
     }
-    Ok(payload)
+    Ok((Fingerprint::from_raw(found_key), payload))
 }
 
 #[cfg(test)]
@@ -283,6 +301,22 @@ mod tests {
             open(&sealed, 7, key()),
             Err(BlobError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn open_any_returns_the_recorded_key_and_still_verifies_content() {
+        let sealed = seal(7, key(), b"payload");
+        let (found, payload) = open_any(&sealed, 7).unwrap();
+        assert_eq!(found, key());
+        assert_eq!(payload, b"payload");
+        // Everything except the key check still applies.
+        assert!(matches!(
+            open_any(&sealed, 8),
+            Err(BlobError::CodecVersionMismatch { .. })
+        ));
+        let mut bad = sealed.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        assert_eq!(open_any(&bad, 7), Err(BlobError::ChecksumMismatch));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod addr;
 pub mod blob;
 pub mod fingerprint;
 pub mod ids;
+pub mod manifest;
 pub mod time;
 pub mod trace;
 
@@ -32,5 +33,6 @@ pub use access::{AccessKind, MemAccess};
 pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
 pub use fingerprint::{Fingerprint, Fingerprintable, Fingerprinter};
 pub use ids::CoreId;
+pub use manifest::{ManifestError, ShardManifest, MANIFEST_CODEC_VERSION};
 pub use time::Cycle;
 pub use trace::{SharedTrace, Trace, TraceMeta, TRACE_CODEC_VERSION};

@@ -1,0 +1,348 @@
+//! The sealed shard-manifest envelope for distributed campaigns.
+//!
+//! A campaign split across processes (`--shard I/N`) needs each shard to
+//! hand its finished job outputs to a later merge stage as a single sealed
+//! artifact. This module defines that artifact's *container*: a
+//! [`ShardManifest`] carries the configuration fingerprint the shard ran
+//! under, its 1-based `index` out of `count` shards, and an ordered list of
+//! `(job fingerprint, payload bytes)` entries. The payload bytes are opaque
+//! here — the campaign layer stores `JobOutput::encode` blobs — so the
+//! envelope stays free of simulator types, exactly like [`crate::blob`].
+//!
+//! On disk a manifest is the body encoding sealed in the shared
+//! [`crate::blob`] envelope under [`MANIFEST_CODEC_VERSION`], keyed by the
+//! fingerprint of the manifest's own header (config fingerprint, index,
+//! count). A reader cannot predict that key before parsing, so
+//! [`ShardManifest::open`] unseals with [`crate::blob::open_any`] and then
+//! cross-checks the recorded key against the header it decoded — a renamed
+//! or spliced file fails closed.
+//!
+//! # Example
+//!
+//! ```
+//! use stms_types::manifest::ShardManifest;
+//! use stms_types::Fingerprint;
+//!
+//! let manifest = ShardManifest {
+//!     config: Fingerprint::from_raw(7),
+//!     index: 1,
+//!     count: 2,
+//!     entries: vec![(Fingerprint::from_raw(11), b"output".to_vec())],
+//! };
+//! let sealed = manifest.seal();
+//! let back = ShardManifest::open(&sealed).unwrap();
+//! assert_eq!(back, manifest);
+//! ```
+
+use crate::blob::{self, BlobError};
+use crate::fingerprint::{Fingerprint, Fingerprinter};
+use std::fmt;
+
+/// Version of the manifest body layout. Bump when the encoding changes; old
+/// files then fail the blob codec check and merge reports them as unusable
+/// instead of misreading them.
+pub const MANIFEST_CODEC_VERSION: u16 = 1;
+
+/// One shard's sealed output slice: which configuration and shard it came
+/// from, plus every finished job keyed by its stable fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Fingerprint of the campaign configuration the shard ran under; merge
+    /// rejects manifests whose configuration disagrees with its own.
+    pub config: Fingerprint,
+    /// 1-based shard index.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+    /// `(job fingerprint, opaque payload)` pairs, in the shard's job order.
+    pub entries: Vec<(Fingerprint, Vec<u8>)>,
+}
+
+impl ShardManifest {
+    /// The blob key a manifest with this header seals under: the fingerprint
+    /// of `(config, index, count)` behind a versioned domain tag.
+    pub fn seal_key(config: Fingerprint, index: u32, count: u32) -> Fingerprint {
+        let mut fp = Fingerprinter::new();
+        fp.write_str("stms-shard-manifest/v1");
+        fp.write_u64(config.raw() as u64);
+        fp.write_u64((config.raw() >> 64) as u64);
+        fp.write_u32(index);
+        fp.write_u32(count);
+        fp.finish()
+    }
+
+    /// The conventional file name of this manifest, e.g.
+    /// `shard-1-of-2.stms`.
+    pub fn file_name(&self) -> String {
+        format!("shard-{}-of-{}.stms", self.index, self.count)
+    }
+
+    /// Encodes and seals the manifest into the bytes written to disk.
+    pub fn seal(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.config.raw().to_le_bytes());
+        body.extend_from_slice(&self.index.to_le_bytes());
+        body.extend_from_slice(&self.count.to_le_bytes());
+        body.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (fingerprint, payload) in &self.entries {
+            body.extend_from_slice(&fingerprint.raw().to_le_bytes());
+            body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            body.extend_from_slice(payload);
+        }
+        blob::seal(
+            MANIFEST_CODEC_VERSION,
+            Self::seal_key(self.config, self.index, self.count),
+            &body,
+        )
+    }
+
+    /// Unseals and decodes a manifest previously produced by
+    /// [`ShardManifest::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] when the blob envelope fails, the body is
+    /// malformed, the shard header is inconsistent (`index` outside
+    /// `1..=count`), the recorded blob key disagrees with the decoded header,
+    /// or an entry fingerprint repeats within the manifest.
+    pub fn open(data: &[u8]) -> Result<Self, ManifestError> {
+        let (recorded_key, body) = blob::open_any(data, MANIFEST_CODEC_VERSION)?;
+        let mut body = body;
+        let truncated = |what| ManifestError::Truncated { what };
+        let mut take = |n: usize, what: &'static str| -> Result<&[u8], ManifestError> {
+            let (head, rest) = body.split_at_checked(n).ok_or(truncated(what))?;
+            body = rest;
+            Ok(head)
+        };
+        let config = Fingerprint::from_raw(u128::from_le_bytes(
+            take(16, "config fingerprint")?
+                .try_into()
+                .expect("16 bytes"),
+        ));
+        let index = u32::from_le_bytes(take(4, "shard index")?.try_into().expect("4 bytes"));
+        let count = u32::from_le_bytes(take(4, "shard count")?.try_into().expect("4 bytes"));
+        if count == 0 || index == 0 || index > count {
+            return Err(ManifestError::BadShard { index, count });
+        }
+        if recorded_key != Self::seal_key(config, index, count) {
+            return Err(ManifestError::KeyMismatch);
+        }
+        let entry_count =
+            u64::from_le_bytes(take(8, "entry count")?.try_into().expect("8 bytes")) as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+        let mut seen = std::collections::HashSet::with_capacity(entry_count.min(1 << 16));
+        for _ in 0..entry_count {
+            let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
+                take(16, "entry fingerprint")?.try_into().expect("16 bytes"),
+            ));
+            let len =
+                u64::from_le_bytes(take(8, "entry length")?.try_into().expect("8 bytes")) as usize;
+            let payload = take(len, "entry payload")?.to_vec();
+            if !seen.insert(fingerprint) {
+                return Err(ManifestError::DuplicateEntry { fingerprint });
+            }
+            entries.push((fingerprint, payload));
+        }
+        if !body.is_empty() {
+            return Err(ManifestError::TrailingData);
+        }
+        Ok(ShardManifest {
+            config,
+            index,
+            count,
+            entries,
+        })
+    }
+}
+
+/// Why a sealed shard manifest could not be opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// The outer sealed-blob envelope failed (corruption, truncation, a
+    /// different codec version, not a blob at all).
+    Blob(BlobError),
+    /// The manifest body ended before the named field.
+    Truncated {
+        /// Which encoded field was cut off.
+        what: &'static str,
+    },
+    /// The header's shard coordinates are inconsistent.
+    BadShard {
+        /// Index found in the header (must be `1..=count`).
+        index: u32,
+        /// Count found in the header (must be non-zero).
+        count: u32,
+    },
+    /// The blob key does not match the decoded header — a renamed or
+    /// spliced file.
+    KeyMismatch,
+    /// The same job fingerprint appears twice within one manifest.
+    DuplicateEntry {
+        /// The repeated fingerprint.
+        fingerprint: Fingerprint,
+    },
+    /// Extra bytes follow the last entry.
+    TrailingData,
+}
+
+impl From<BlobError> for ManifestError {
+    fn from(err: BlobError) -> Self {
+        ManifestError::Blob(err)
+    }
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Blob(err) => write!(f, "shard manifest envelope: {err}"),
+            ManifestError::Truncated { what } => {
+                write!(f, "shard manifest truncated at {what}")
+            }
+            ManifestError::BadShard { index, count } => {
+                write!(f, "shard manifest claims invalid shard {index}/{count}")
+            }
+            ManifestError::KeyMismatch => {
+                write!(f, "shard manifest key does not match its header")
+            }
+            ManifestError::DuplicateEntry { fingerprint } => {
+                write!(f, "shard manifest repeats job fingerprint {fingerprint}")
+            }
+            ManifestError::TrailingData => write!(f, "trailing bytes after shard manifest"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            config: Fingerprint::from_raw(0xfeed_beef),
+            index: 2,
+            count: 3,
+            entries: vec![
+                (Fingerprint::from_raw(1), vec![1, 2, 3]),
+                (Fingerprint::from_raw(2), Vec::new()),
+                (Fingerprint::from_raw(u128::MAX), vec![0; 100]),
+            ],
+        }
+    }
+
+    #[test]
+    fn seal_open_round_trips() {
+        let manifest = sample();
+        assert_eq!(ShardManifest::open(&manifest.seal()).unwrap(), manifest);
+        // Empty manifests are legal (a shard may own no jobs).
+        let empty = ShardManifest {
+            entries: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(ShardManifest::open(&empty.seal()).unwrap(), empty);
+        assert_eq!(manifest.file_name(), "shard-2-of-3.stms");
+    }
+
+    #[test]
+    fn corruption_and_truncation_fail_closed() {
+        let sealed = sample().seal();
+        let mut bad = sealed.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(matches!(
+            ShardManifest::open(&bad),
+            Err(ManifestError::Blob(_))
+        ));
+        assert!(matches!(
+            ShardManifest::open(&sealed[..sealed.len() / 2]),
+            Err(ManifestError::Blob(BlobError::Truncated { .. }))
+        ));
+        assert!(matches!(
+            ShardManifest::open(b"not a manifest"),
+            Err(ManifestError::Blob(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_headers_are_rejected() {
+        // index 0, index > count, count 0: all invalid. Build them by
+        // sealing a body by hand so the blob layer is satisfied.
+        for (index, count) in [(0u32, 2u32), (3, 2), (0, 0)] {
+            let mut body = Vec::new();
+            body.extend_from_slice(&7u128.to_le_bytes());
+            body.extend_from_slice(&index.to_le_bytes());
+            body.extend_from_slice(&count.to_le_bytes());
+            body.extend_from_slice(&0u64.to_le_bytes());
+            let sealed = blob::seal(
+                MANIFEST_CODEC_VERSION,
+                ShardManifest::seal_key(Fingerprint::from_raw(7), index, count),
+                &body,
+            );
+            assert_eq!(
+                ShardManifest::open(&sealed),
+                Err(ManifestError::BadShard { index, count })
+            );
+        }
+    }
+
+    #[test]
+    fn spliced_header_fails_the_key_check() {
+        // Seal a valid manifest under the WRONG key (as if a shard-1 file
+        // body were copied into a shard-2 file's envelope).
+        let manifest = sample();
+        let mut body = Vec::new();
+        body.extend_from_slice(&manifest.config.raw().to_le_bytes());
+        body.extend_from_slice(&manifest.index.to_le_bytes());
+        body.extend_from_slice(&manifest.count.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        let wrong_key = ShardManifest::seal_key(manifest.config, manifest.index + 1, 9);
+        let sealed = blob::seal(MANIFEST_CODEC_VERSION, wrong_key, &body);
+        assert_eq!(
+            ShardManifest::open(&sealed),
+            Err(ManifestError::KeyMismatch)
+        );
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        let manifest = ShardManifest {
+            entries: vec![
+                (Fingerprint::from_raw(5), vec![1]),
+                (Fingerprint::from_raw(5), vec![2]),
+            ],
+            ..sample()
+        };
+        assert_eq!(
+            ShardManifest::open(&manifest.seal()),
+            Err(ManifestError::DuplicateEntry {
+                fingerprint: Fingerprint::from_raw(5)
+            })
+        );
+    }
+
+    #[test]
+    fn seal_keys_separate_shard_coordinates() {
+        let config = Fingerprint::from_raw(9);
+        let base = ShardManifest::seal_key(config, 1, 2);
+        assert_eq!(base, ShardManifest::seal_key(config, 1, 2));
+        assert_ne!(base, ShardManifest::seal_key(config, 2, 2));
+        assert_ne!(base, ShardManifest::seal_key(config, 1, 3));
+        assert_ne!(
+            base,
+            ShardManifest::seal_key(Fingerprint::from_raw(10), 1, 2)
+        );
+    }
+
+    #[test]
+    fn errors_render_their_cause() {
+        assert!(ManifestError::KeyMismatch.to_string().contains("key"));
+        assert!(ManifestError::BadShard { index: 3, count: 2 }
+            .to_string()
+            .contains("3/2"));
+        assert!(ManifestError::from(BlobError::BadMagic)
+            .to_string()
+            .contains("envelope"));
+    }
+}
