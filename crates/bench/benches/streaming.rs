@@ -1,0 +1,83 @@
+//! Benchmarks of the streaming trace pipeline: streamed vs materialized
+//! replay, cold (generator-fused) and warm (chunk-framed disk tier), so the
+//! chunking overhead on the per-access hot path is tracked release over
+//! release alongside the other BENCH results.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use stms_bench::bench_workload;
+use stms_sim::campaign::{DiskTierConfig, TraceStore};
+use stms_sim::{run_source, run_trace, ExperimentConfig, PrefetcherKind};
+use stms_types::DEFAULT_CHUNK_LEN;
+use stms_workloads::{generate, TraceGenerator};
+
+const ACCESSES: usize = 30_000;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stms-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_streamed_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streamed_replay");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick().with_accesses(ACCESSES);
+    let kind = PrefetcherKind::Baseline;
+    let spec = bench_workload().with_accesses(ACCESSES);
+    let trace = generate(&spec);
+
+    // The baseline the streaming path must not regress: a fully
+    // materialized replay.
+    group.bench_function("materialized", |b| {
+        b.iter(|| black_box(run_trace(&cfg, &trace, &kind).cycles))
+    });
+
+    // The pure chunk-dispatch overhead: the same in-memory trace, replayed
+    // through the chunked TraceSource path.
+    group.bench_function("chunked_in_memory", |b| {
+        b.iter(|| {
+            let mut source = trace.chunks(DEFAULT_CHUNK_LEN);
+            black_box(
+                run_source(&cfg, &mut source, &kind)
+                    .expect("in-memory")
+                    .cycles,
+            )
+        })
+    });
+
+    // Cold out-of-core: generation fused with simulation in one streamed
+    // pass — what a cache-less `--stream-traces` job pays.
+    group.bench_function("streamed_cold_generator", |b| {
+        b.iter(|| {
+            let mut generator = TraceGenerator::new(&spec);
+            black_box(
+                run_source(&cfg, &mut generator, &kind)
+                    .expect("generator")
+                    .cycles,
+            )
+        })
+    });
+
+    // Warm disk tier: replay a sealed chunk-framed file the job never
+    // fully decodes — what every warm `--stream-traces --trace-cache` job
+    // pays.
+    let dir = bench_dir("stream-warm");
+    let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+        .expect("create bench cache dir")
+        .with_streaming(true);
+    let replay = |store: &TraceStore| {
+        store.replay_streaming(&spec, ACCESSES, |source| {
+            run_source(&cfg, source, &kind).map(|result| result.cycles)
+        })
+    };
+    replay(&store); // populate the disk tier
+    group.bench_function("streamed_warm_disk", |b| {
+        b.iter(|| black_box(replay(&store)))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_streamed_replay);
+criterion_main!(benches);

@@ -35,6 +35,7 @@ use crate::stream::{PrefetchBuffer, StreamState};
 use crate::stride::StridePrefetcher;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use stms_types::stream::{TraceSource, TraceStreamError, DEFAULT_CHUNK_LEN};
 use stms_types::{AccessKind, Cycle, LineAddr, MemAccess, Trace};
 
 /// Tunables of the simulation engine that are not part of the system model.
@@ -246,19 +247,59 @@ impl<'a> CmpSimulator<'a> {
     ///
     /// The first `warmup_fraction` of the trace trains caches and predictor
     /// meta-data but is excluded from all reported counters.
-    pub fn run<P: Prefetcher + ?Sized>(mut self, trace: &Trace, prefetcher: &mut P) -> SimResult {
-        self.res.prefetcher = prefetcher.name().to_string();
-        self.res.workload = trace.meta().workload.clone();
-        let warmup_end =
-            ((trace.len() as f64) * self.opts.warmup_fraction.clamp(0.0, 0.95)) as usize;
+    ///
+    /// This is the materialized special case of [`CmpSimulator::run_stream`]
+    /// (an in-memory trace source cannot fail), and produces bit-identical
+    /// results to streaming the same access sequence.
+    pub fn run<P: Prefetcher + ?Sized>(self, trace: &Trace, prefetcher: &mut P) -> SimResult {
+        let mut source = trace.chunks(DEFAULT_CHUNK_LEN);
+        self.run_stream(&mut source, prefetcher)
+            .expect("in-memory trace sources cannot fail")
+    }
 
-        for (idx, access) in trace.iter().enumerate() {
-            if idx == warmup_end {
-                self.end_warmup();
+    /// Replays any [`TraceSource`] with `prefetcher`, chunk by chunk.
+    ///
+    /// The engine's resident state is independent of trace length: it holds
+    /// one chunk at a time, so a trace far larger than memory (a disk-backed
+    /// [`stms_types::stream::TraceReader`], or a generator streaming on the
+    /// fly) replays in bounded space. Source dispatch happens once per
+    /// chunk; the per-access hot path is unchanged from [`CmpSimulator::run`],
+    /// and the metrics are bit-identical for the same access sequence.
+    ///
+    /// The warm-up boundary is computed from
+    /// [`TraceSource::total_accesses`], which every source knows up front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's first [`TraceStreamError`] (a corrupt or
+    /// truncated disk stream). The partially-run simulation is discarded —
+    /// callers fall back to regenerating the trace.
+    pub fn run_stream<P, S>(
+        mut self,
+        source: &mut S,
+        prefetcher: &mut P,
+    ) -> Result<SimResult, TraceStreamError>
+    where
+        P: Prefetcher + ?Sized,
+        S: TraceSource + ?Sized,
+    {
+        self.res.prefetcher = prefetcher.name().to_string();
+        self.res.workload = source.meta().workload.clone();
+        let total = source.total_accesses() as usize;
+        let warmup_end = ((total as f64) * self.opts.warmup_fraction.clamp(0.0, 0.95)) as usize;
+
+        let mut idx = 0usize;
+        while let Some(chunk) = source.next_chunk()? {
+            debug_assert_eq!(chunk.first_index as usize, idx, "chunks arrive in order");
+            for access in chunk.accesses {
+                if idx == warmup_end {
+                    self.end_warmup();
+                }
+                self.step(*access, prefetcher, idx >= warmup_end);
+                idx += 1;
             }
-            self.step(*access, prefetcher, idx >= warmup_end);
         }
-        self.finish(trace, prefetcher, warmup_end)
+        Ok(self.finish(idx, prefetcher, warmup_end))
     }
 
     /// Marks the end of the warm-up period: statistics collected so far are
@@ -578,13 +619,13 @@ impl<'a> CmpSimulator<'a> {
 
     fn finish<P: Prefetcher + ?Sized>(
         mut self,
-        trace: &Trace,
+        replayed: usize,
         prefetcher: &mut P,
         warmup_end: usize,
     ) -> SimResult {
         // If the trace was so short that warm-up never ended, end it now so
         // counters are at least well-defined.
-        if warmup_end >= trace.len() && !trace.is_empty() {
+        if warmup_end >= replayed && replayed > 0 {
             self.end_warmup();
         }
         let now = self.max_clock();
@@ -905,5 +946,44 @@ mod tests {
         let cfg = SystemConfig::tiny_for_tests();
         let t = trace_of(&[1, 2, 3], 7);
         let _ = CmpSimulator::new(&cfg, opts_no_warmup()).run(&t, &mut NullPrefetcher::new());
+    }
+
+    #[test]
+    fn streamed_replay_is_bit_identical_to_materialized_replay() {
+        let cfg = SystemConfig::tiny_for_tests();
+        let lines: Vec<u64> = (0..2000).map(|i: u64| (i * 7919 + 13) % 500_000).collect();
+        let t = trace_of(&lines, 0);
+        // Warm-up mid-trace and a warmup-free run, across chunkings that do
+        // and do not align with the warm-up boundary.
+        for warmup in [0.0, 0.3] {
+            let opts = SimOptions {
+                warmup_fraction: warmup,
+                ..Default::default()
+            };
+            let reference = CmpSimulator::new(&cfg, opts).run(&t, &mut NextLines(8));
+            for chunk_len in [1usize, 97, 600, 10_000] {
+                let mut source = t.chunks(chunk_len);
+                let streamed = CmpSimulator::new(&cfg, opts)
+                    .run_stream(&mut source, &mut NextLines(8))
+                    .expect("in-memory source cannot fail");
+                assert_eq!(
+                    streamed.encode(),
+                    reference.encode(),
+                    "warmup {warmup}, chunk_len {chunk_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_stream_works_through_a_dyn_source() {
+        let cfg = SystemConfig::tiny_for_tests();
+        let t = trace_of(&[10, 20, 30, 40], 0);
+        let mut source = t.chunks(2);
+        let dyn_source: &mut dyn TraceSource = &mut source;
+        let res = CmpSimulator::new(&cfg, opts_no_warmup())
+            .run_stream(dyn_source, &mut NullPrefetcher::new())
+            .expect("in-memory source cannot fail");
+        assert_eq!(res.accesses, 4);
     }
 }

@@ -6,7 +6,9 @@
 //! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
 //!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
-//!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]]
+//!                  [--stream-traces]
+//!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]
+//!                   | --retry-failed MANIFEST]
 //!                  [EXPERIMENT ...]
 //! ```
 //!
@@ -27,6 +29,17 @@
 //! byte-identical stdout while skipping all trace generation and replay;
 //! the cache counters are reported in a `run summary:` block on stderr.
 //!
+//! # Out-of-core replay
+//!
+//! `--stream-traces` replays every trace as a chunked stream instead of a
+//! materialized in-memory vector, so peak memory is independent of trace
+//! length (`--accesses` can exceed available RAM). Pair it with
+//! `--trace-cache DIR`: each trace is generated straight into a sealed
+//! chunk-framed file once and streamed from disk by every job; without a
+//! cache each job streams its own generator. Stdout is byte-identical to
+//! the materialized path either way, and a `streamed replay:` line joins
+//! the stderr run summary.
+//!
 //! # Distributed campaigns
 //!
 //! `--shard I/N` runs only the 1-based `I`-th slice of the deterministic
@@ -35,7 +48,15 @@
 //! `--merge-shards DIR[,DIR...]` (repeatable) validates the manifests found
 //! in the listed directories and renders the selected figures from them
 //! without running a single simulation; stdout is byte-identical to an
-//! unsharded run of the same selection.
+//! unsharded run of the same selection. The merge streams: each figure
+//! prints as soon as it renders, and each sealed payload is dropped after
+//! its last consuming figure (manifest compaction), so merge memory tracks
+//! the live figure window rather than the whole grid.
+//!
+//! `--retry-failed MANIFEST` repairs a *partial* shard (exit code 3): it
+//! reruns only the owned jobs missing from the sealed manifest and seals
+//! the completed manifest in place, so CI retries replay exactly the
+//! failed slice instead of the whole shard.
 //!
 //! `--format json` emits one JSON array with one object per figure
 //! (`{"id", "title", "headers", "rows", "notes", "metrics"}`, where
@@ -45,13 +66,15 @@
 //!
 //! # Exit codes
 //!
-//! * `0` — success (for `--shard`: every owned job sealed);
+//! * `0` — success (for `--shard`/`--retry-failed`: every owned job
+//!   sealed);
 //! * `1` — a figure failed to render, a merge was rejected (stale config,
-//!   duplicate or missing shard coverage), or a manifest could not be
-//!   written;
+//!   duplicate or missing shard coverage), a retry manifest was unusable,
+//!   or a manifest could not be written;
 //! * `2` — usage errors (unknown id/flag, invalid options);
 //! * `3` — a *partial shard*: some jobs failed, but the manifest was still
-//!   sealed with the completed outputs, so CI can retry just this slice.
+//!   sealed with the completed outputs, so CI can retry just this slice
+//!   with `--retry-failed`.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -59,7 +82,7 @@ use std::process::ExitCode;
 use stms_sim::campaign::{Campaign, CampaignCaches, ShardSpec};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
-use stms_stats::{CacheReport, RunSummary};
+use stms_stats::{CacheReport, RunSummary, StreamReport};
 
 struct Options {
     cfg: ExperimentConfig,
@@ -71,6 +94,7 @@ struct Options {
     shard: Option<ShardSpec>,
     shard_out: Option<PathBuf>,
     merge_dirs: Vec<PathBuf>,
+    retry_manifest: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -84,7 +108,9 @@ fn usage() -> String {
         "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
          \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
-         \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]]\n\
+         \x20                       [--stream-traces]\n\
+         \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]\n\
+         \x20                        | --retry-failed MANIFEST]\n\
          \x20                       [EXPERIMENT ...]\n\
          experiments: {} (or `all`)",
         ALL_IDS.join(", ")
@@ -103,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shard: Option<ShardSpec> = None;
     let mut shard_out: Option<PathBuf> = None;
     let mut merge_dirs: Vec<PathBuf> = Vec::new();
+    let mut retry_manifest: Option<PathBuf> = None;
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -165,6 +192,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 caches.result_dir = Some(value_of(&mut i, "--result-cache")?.into());
             }
             "--cache-verify" => caches.verify = true,
+            "--stream-traces" => caches.stream_traces = true,
+            "--retry-failed" => {
+                retry_manifest = Some(value_of(&mut i, "--retry-failed")?.into());
+            }
             "--shard" => {
                 let v = value_of(&mut i, "--shard")?;
                 shard = Some(ShardSpec::parse(&v)?);
@@ -208,8 +239,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     cfg.sim.validate().map_err(|e| e.to_string())?;
 
     // Sharding flags must form a coherent mode.
-    if shard.is_some() && !merge_dirs.is_empty() {
-        return Err("--shard and --merge-shards are mutually exclusive".into());
+    let modes = [
+        shard.is_some(),
+        !merge_dirs.is_empty(),
+        retry_manifest.is_some(),
+    ];
+    if modes.iter().filter(|&&on| on).count() > 1 {
+        return Err("--shard, --merge-shards and --retry-failed are mutually exclusive".into());
     }
     if shard.is_some() && shard_out.is_none() {
         return Err("--shard requires --shard-out DIR for the sealed manifest".into());
@@ -217,17 +253,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if shard.is_none() && shard_out.is_some() {
         return Err("--shard-out is only meaningful with --shard I/N".into());
     }
-    // Shard mode renders nothing, so output flags would be silently dead.
-    if shard.is_some() && csv_dir.is_some() {
-        return Err(
-            "--csv has no effect with --shard (nothing renders); use it on the merge".into(),
-        );
-    }
-    if shard.is_some() && format == Format::Json {
-        return Err(
-            "--format json has no effect with --shard (nothing renders); use it on the merge"
-                .into(),
-        );
+    // Shard and retry modes render nothing, so output flags would be
+    // silently dead.
+    let renderless = if shard.is_some() {
+        Some("--shard")
+    } else if retry_manifest.is_some() {
+        Some("--retry-failed")
+    } else {
+        None
+    };
+    if let Some(mode) = renderless {
+        if csv_dir.is_some() {
+            return Err(format!(
+                "--csv has no effect with {mode} (nothing renders); use it on the merge"
+            ));
+        }
+        if format == Format::Json {
+            return Err(format!(
+                "--format json has no effect with {mode} (nothing renders); use it on the merge"
+            ));
+        }
     }
 
     // `all` (anywhere in the selection) and an empty selection both mean
@@ -245,14 +290,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shard,
         shard_out,
         merge_dirs,
+        retry_manifest,
     })
 }
 
-/// Appends one line per configured cache tier to the stderr `run summary:`
+/// Appends one line per configured cache tier (plus the streamed-replay
+/// counters when `--stream-traces` is on) to the stderr `run summary:`
 /// block.
 fn push_cache_reports(summary: &mut RunSummary, campaign: &Campaign) {
     let stats = campaign.cache_stats();
     let trace = stats.trace;
+    if campaign.store().is_streaming() {
+        summary.push_stream(StreamReport {
+            replays: trace.stream_replays,
+            chunks: trace.stream_chunks,
+            fallbacks: trace.stream_fallbacks,
+        });
+    }
     if campaign.store().disk_dir().is_some() {
         summary.push(
             CacheReport::new(
@@ -385,6 +439,67 @@ fn run_shard_mode(
     }
 }
 
+/// Reruns only the jobs missing from a partial shard manifest and seals
+/// the completed manifest in place. Exit codes mirror `--shard`: 0 when the
+/// shard is now complete, 3 when jobs failed again, 1 when the manifest is
+/// unusable.
+fn run_retry_mode(
+    campaign: &Campaign,
+    plans: Vec<FigurePlan>,
+    manifest_path: &std::path::Path,
+) -> ExitCode {
+    let run = match campaign.retry_shard(plans, manifest_path) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "retried shard {}: {} missing job(s) rerun",
+        run.spec, run.jobs_rerun
+    );
+    if let Some(error) = run.error() {
+        eprintln!("error: {error}");
+    }
+    let dir = manifest_path.parent().unwrap_or(std::path::Path::new("."));
+    let (path, bytes) = match run.write_manifest(dir) {
+        Ok(written) => written,
+        Err(e) => {
+            eprintln!(
+                "error: cannot write shard manifest to `{}`: {e}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    // The healed manifest seals under its conventional shard-I-of-N name.
+    // If the partial file was renamed (so the two names are different
+    // files), remove the stale original — otherwise a later merge of the
+    // directory would see the same shard twice and fail with
+    // DuplicateShard. Identity is checked on canonicalized paths, never
+    // lexically: on a case-insensitive filesystem a differently-spelled
+    // path to the same file must not delete the manifest just sealed.
+    let same_file = match (path.canonicalize(), manifest_path.canonicalize()) {
+        (Ok(sealed), Ok(original)) => sealed == original,
+        // Cannot prove they differ: leave the original alone.
+        _ => true,
+    };
+    if !same_file {
+        let _ = std::fs::remove_file(manifest_path);
+    }
+    eprintln!("sealed {}", path.display());
+    let mut summary = RunSummary::new();
+    summary.push_shard(run.report(bytes));
+    push_cache_reports(&mut summary, campaign);
+    eprint!("{}", summary.render());
+    if run.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Help wins over everything else, before any parsing.
@@ -440,23 +555,23 @@ fn main() -> ExitCode {
         let out_dir = opts.shard_out.as_deref().expect("validated in parse_args");
         return run_shard_mode(&campaign, plans, spec, out_dir);
     }
+    // Retry mode: rerun only the jobs missing from a partial manifest.
+    if let Some(manifest) = &opts.retry_manifest {
+        return run_retry_mode(&campaign, plans, manifest);
+    }
 
     let mut sink = FigureSink::new(&opts);
     if opts.merge_dirs.is_empty() {
         // Single-process mode: figures stream out as their jobs complete.
         campaign.run_figures_streaming(plans, |figure| sink.accept(figure));
     } else {
-        // Merge mode: hydrate sealed shard outputs, replay nothing.
-        match campaign.merge_shards(plans, &opts.merge_dirs) {
-            Ok(figures) => {
-                for figure in figures {
-                    sink.accept(Ok(figure));
-                }
-            }
-            Err(err) => {
-                eprintln!("error: {err}");
-                return ExitCode::FAILURE;
-            }
+        // Merge mode: hydrate sealed shard outputs streaming, replay
+        // nothing, and drop each payload after its last consuming figure.
+        if let Err(err) = campaign.merge_shards_streaming(plans, &opts.merge_dirs, |figure| {
+            sink.accept(Ok(figure));
+        }) {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
         }
     }
     let failed = sink.finish();

@@ -64,6 +64,7 @@ pub use trace_store::{DiskTierConfig, TraceStore, TraceStoreStats};
 use crate::experiments::FigureResult;
 use crate::runner::run_trace;
 use crate::system::ExperimentConfig;
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -183,6 +184,14 @@ pub struct CampaignCaches {
     /// Byte budget of the trace tier; oldest entries are evicted after each
     /// write when set.
     pub trace_max_bytes: Option<u64>,
+    /// Out-of-core replay (`--stream-traces`): jobs replay traces chunk by
+    /// chunk through [`TraceStore::replay_streaming`] instead of holding a
+    /// materialized [`stms_types::SharedTrace`], so peak memory is
+    /// independent of trace length. Pair with `trace_dir` so the trace is
+    /// generated once into a chunk-framed file and streamed by every job;
+    /// without a disk tier each job streams its own generator. Rendered
+    /// output is byte-identical either way.
+    pub stream_traces: bool,
 }
 
 impl CampaignCaches {
@@ -267,7 +276,8 @@ impl Campaign {
                 TraceStore::with_disk_tier(tier)?
             }
             None => TraceStore::new(),
-        };
+        }
+        .with_streaming(caches.stream_traces);
         let results = match &caches.result_dir {
             Some(dir) => Some(Arc::new(ResultStore::open(dir)?.with_verify(caches.verify))),
             None => None,
@@ -508,6 +518,7 @@ impl Campaign {
             spec,
             jobs_total,
             jobs_owned: owned.len() as u64,
+            jobs_rerun: owned.len() as u64,
             manifest: ShardManifest {
                 config: self.cfg.fingerprint(),
                 index: spec.index,
@@ -516,6 +527,90 @@ impl Campaign {
             },
             failures,
         }
+    }
+
+    /// Retries a **partial** shard manifest: reruns only the owned jobs
+    /// whose outputs are missing from it (the jobs that failed, or were
+    /// never reached, in the original `--shard` run), and returns a
+    /// [`ShardRun`] whose manifest carries the old entries plus the fresh
+    /// ones — ready to seal in place of the partial file.
+    ///
+    /// The shard coordinates come from the manifest itself; `plans` must be
+    /// built from the same figure selection the shard ran. Already-sealed
+    /// outputs are never re-executed, so a retry of an `N`-job shard with
+    /// one failure replays exactly one job. Retrying an already-complete
+    /// manifest is a no-op that reruns nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Io`] when the file cannot be read,
+    /// [`MergeError::Manifest`] when it does not open as a sealed manifest,
+    /// and [`MergeError::StaleConfig`] when it was sealed under a different
+    /// campaign configuration.
+    pub fn retry_shard(
+        &self,
+        plans: Vec<FigurePlan>,
+        manifest_path: &std::path::Path,
+    ) -> Result<ShardRun, MergeError> {
+        let bytes = std::fs::read(manifest_path).map_err(|e| MergeError::Io {
+            path: manifest_path.to_path_buf(),
+            error: e.to_string(),
+        })?;
+        let manifest = ShardManifest::open(&bytes).map_err(|error| MergeError::Manifest {
+            path: manifest_path.to_path_buf(),
+            error,
+        })?;
+        let expected = self.cfg.fingerprint();
+        if manifest.config != expected {
+            return Err(MergeError::StaleConfig {
+                path: manifest_path.to_path_buf(),
+                expected,
+                found: manifest.config,
+            });
+        }
+        let spec = ShardSpec::new(manifest.index, manifest.count)
+            .expect("ShardManifest::open validated the shard header");
+        let (jobs, _parts) = flatten_plans(plans);
+        let distinct = shard::distinct_jobs(&self.cfg, &jobs);
+        let jobs_total = distinct.len() as u64;
+        let sealed: std::collections::HashSet<Fingerprint> =
+            manifest.entries.iter().map(|(fp, _)| *fp).collect();
+        let owned: Vec<(Fingerprint, JobSpec)> = distinct
+            .into_iter()
+            .filter(|(fingerprint, _)| spec.owns(*fingerprint))
+            .collect();
+        let jobs_owned = owned.len() as u64;
+        let missing: Vec<(Fingerprint, JobSpec)> = owned
+            .into_iter()
+            .filter(|(fingerprint, _)| !sealed.contains(fingerprint))
+            .collect();
+        let idents = missing
+            .iter()
+            .map(|(fingerprint, job)| (job.label(), *fingerprint))
+            .collect();
+        let results =
+            self.run_jobs_with_idents(missing.iter().map(|(_, job)| job.clone()).collect(), idents);
+        let mut entries = manifest.entries;
+        let mut failures = Vec::new();
+        for ((fingerprint, _), result) in missing.iter().zip(results) {
+            match result {
+                Ok(output) => entries.push((*fingerprint, output.encode())),
+                Err(err) => failures.push(err),
+            }
+        }
+        Ok(ShardRun {
+            spec,
+            jobs_total,
+            jobs_owned,
+            jobs_rerun: missing.len() as u64,
+            manifest: ShardManifest {
+                config: manifest.config,
+                index: manifest.index,
+                count: manifest.count,
+                entries,
+            },
+            failures,
+        })
     }
 
     /// Merges sealed shard manifests and renders the figures without
@@ -536,23 +631,106 @@ impl Campaign {
         plans: Vec<FigurePlan>,
         dirs: &[std::path::PathBuf],
     ) -> Result<Vec<FigureResult>, MergeError> {
-        let merged = MergedShards::load(&self.cfg, dirs)?;
+        let mut figures = Vec::new();
+        self.merge_shards_streaming(plans, dirs, |figure| figures.push(figure))?;
+        Ok(figures)
+    }
+
+    /// Merges sealed shard manifests and renders the figures *streaming*,
+    /// with manifest compaction: each figure is delivered to `emit` (in
+    /// plan order) as soon as it renders, and each job's encoded payload is
+    /// dropped as soon as its **last consuming figure** has rendered — so
+    /// the merge never holds the whole grid's outputs at once, only the
+    /// live window, no matter how many figures the campaign spans.
+    ///
+    /// Re-derives the job grid from `plans` (which must be built from the
+    /// same figure selection and configuration the shards ran) and
+    /// validates the manifest set — including full coverage — *before*
+    /// emitting anything. Stdout from printing the emitted figures is
+    /// byte-identical to an unsharded run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] naming the unusable file, stale
+    /// configuration, duplicate shard/job, or missing coverage. A payload
+    /// that fails to decode ([`MergeError::BadOutput`]) surfaces when its
+    /// first consuming figure is reached; earlier figures have already
+    /// been emitted at that point.
+    pub fn merge_shards_streaming<F>(
+        &self,
+        plans: Vec<FigurePlan>,
+        dirs: &[std::path::PathBuf],
+        mut emit: F,
+    ) -> Result<(), MergeError>
+    where
+        F: FnMut(FigureResult),
+    {
+        let mut merged = MergedShards::load(&self.cfg, dirs)?;
         let (jobs, parts) = flatten_plans(plans);
         // One fingerprint pass serves dedup, coverage and hydration alike.
         let fingerprints = shard::job_fingerprints(&self.cfg, &jobs);
         let distinct = shard::distinct_with(&fingerprints, &jobs);
-        let hydrated = merged.hydrate(&distinct)?;
-        let mut outputs: Vec<Option<Result<JobOutput, JobError>>> = fingerprints
+        merged.check_coverage(&distinct)?;
+
+        // Each figure's distinct fingerprints, plus per-job reference
+        // counts across figures, so a payload can be dropped the moment
+        // its last consuming figure has rendered.
+        let per_figure: Vec<Vec<Fingerprint>> = parts
             .iter()
-            .map(|fingerprint| Some(Ok(hydrated[fingerprint].clone())))
-            .collect();
-        Ok(parts
-            .into_iter()
             .map(|part| {
-                finish_figure(&self.cfg, part, &mut outputs)
-                    .expect("hydration provided every output")
+                let mut firsts = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for job in part.range.clone() {
+                    if seen.insert(fingerprints[job]) {
+                        firsts.push(fingerprints[job]);
+                    }
+                }
+                firsts
             })
-            .collect())
+            .collect();
+        let mut remaining_uses: HashMap<Fingerprint, usize> = HashMap::new();
+        for needed in &per_figure {
+            for fingerprint in needed {
+                *remaining_uses.entry(*fingerprint).or_default() += 1;
+            }
+        }
+
+        // Decoded outputs live from their first consuming figure to their
+        // last: shared cells decode once, not once per figure, and the
+        // encoded payload is released as soon as its decode exists.
+        let mut decoded: HashMap<Fingerprint, JobOutput> = HashMap::new();
+        for (part, needed) in parts.into_iter().zip(per_figure) {
+            for fingerprint in &needed {
+                if decoded.contains_key(fingerprint) {
+                    continue;
+                }
+                let payload = merged
+                    .take_payload(*fingerprint)
+                    .expect("coverage checked and each payload decoded once");
+                let output =
+                    JobOutput::decode(&payload).map_err(|error| MergeError::BadOutput {
+                        fingerprint: *fingerprint,
+                        error,
+                    })?;
+                decoded.insert(*fingerprint, output);
+            }
+            let outputs: Vec<JobOutput> = part
+                .range
+                .clone()
+                .map(|job| decoded[&fingerprints[job]].clone())
+                .collect();
+            emit(render_figure(&self.cfg, part.render, outputs));
+            // Compaction: drop every decoded output this figure was the
+            // last consumer of.
+            for fingerprint in needed {
+                let uses = remaining_uses.get_mut(&fingerprint).expect("counted above");
+                *uses -= 1;
+                if *uses == 0 {
+                    decoded.remove(&fingerprint);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -567,6 +745,10 @@ pub struct ShardRun {
     pub jobs_total: u64,
     /// Distinct jobs this shard owns.
     pub jobs_owned: u64,
+    /// Owned jobs actually executed by this run: all of them for
+    /// [`Campaign::run_shard`], only the previously-missing ones for
+    /// [`Campaign::retry_shard`].
+    pub jobs_rerun: u64,
     /// The manifest carrying every *successful* owned job's output.
     pub manifest: ShardManifest,
     /// Owned jobs that failed; the manifest is still sealable (a partial
@@ -683,6 +865,14 @@ fn finish_figure(
             failures,
         });
     }
+    Ok(render_figure(cfg, render, oks))
+}
+
+/// Runs one figure's pure render stage over its outputs, attaching the raw
+/// metric records for `--format json`. Shared by the live path
+/// ([`finish_figure`]) and the merge path, which is what keeps their output
+/// byte-identical.
+fn render_figure(cfg: &ExperimentConfig, render: RenderFn, oks: Vec<JobOutput>) -> FigureResult {
     let metrics = oks
         .iter()
         .filter_map(|output| match output {
@@ -692,7 +882,7 @@ fn finish_figure(
         .collect();
     let mut figure = render(cfg, oks);
     figure.metrics = metrics;
-    Ok(figure)
+    figure
 }
 
 fn collect_sims(
@@ -718,13 +908,33 @@ fn execute_job(
             return output;
         }
     }
-    let trace = store.get_or_generate(&job.workload, cfg.accesses);
-    let output = match job.task {
-        JobTask::Replay(ref kind) => JobOutput::Sim(run_trace(cfg, &trace, kind)),
-        JobTask::CollectMisses => {
-            let mut collector = MissTraceCollector::new(cfg.system.cores);
-            let _ = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut collector);
-            JobOutput::MissSequences(collector.all_cores())
+    let output = if store.is_streaming() {
+        // Out-of-core path: the job drives a chunked TraceSource (a
+        // disk-tier reader, or the generator itself) and never holds the
+        // trace; output is bit-identical to the materialized path.
+        match job.task {
+            JobTask::Replay(ref kind) => {
+                store.replay_streaming(&job.workload, cfg.accesses, |source| {
+                    crate::runner::run_source(cfg, source, kind).map(JobOutput::Sim)
+                })
+            }
+            JobTask::CollectMisses => {
+                store.replay_streaming(&job.workload, cfg.accesses, |source| {
+                    let mut collector = MissTraceCollector::new(cfg.system.cores);
+                    CmpSimulator::new(&cfg.system, cfg.sim).run_stream(source, &mut collector)?;
+                    Ok(JobOutput::MissSequences(collector.all_cores()))
+                })
+            }
+        }
+    } else {
+        let trace = store.get_or_generate(&job.workload, cfg.accesses);
+        match job.task {
+            JobTask::Replay(ref kind) => JobOutput::Sim(run_trace(cfg, &trace, kind)),
+            JobTask::CollectMisses => {
+                let mut collector = MissTraceCollector::new(cfg.system.cores);
+                let _ = CmpSimulator::new(&cfg.system, cfg.sim).run(&trace, &mut collector);
+                JobOutput::MissSequences(collector.all_cores())
+            }
         }
     };
     if let Some((memo, key)) = key {
@@ -835,6 +1045,139 @@ mod tests {
         assert_eq!(streamed.len(), 3);
         assert!(streamed[0].contains("Table 1"));
         assert!(streamed[1].contains("Table 2"));
+    }
+
+    #[test]
+    fn streaming_campaign_renders_byte_identical_figures() {
+        let cfg = quick();
+        // table2 covers replay jobs; fig6-left covers miss-collection jobs.
+        let plans = |cfg: &ExperimentConfig| {
+            vec![
+                crate::experiments::plan_table2(cfg),
+                crate::experiments::plan_fig6_left(cfg),
+            ]
+        };
+        let materialized = Campaign::with_threads(cfg.clone(), 2);
+        let direct: Vec<String> = materialized
+            .run_figures(plans(&cfg))
+            .into_iter()
+            .map(|figure| figure.expect("no job fails").render())
+            .collect();
+
+        // Streaming without a cache: every job streams its own generator.
+        let streaming = Campaign::with_caches(
+            cfg.clone(),
+            2,
+            CampaignCaches {
+                stream_traces: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let streamed: Vec<String> = streaming
+            .run_figures(plans(&cfg))
+            .into_iter()
+            .map(|figure| figure.expect("no job fails").render())
+            .collect();
+        assert_eq!(streamed, direct);
+        let stats = streaming.store().stats();
+        assert!(stats.stream_replays > 0, "{stats:?}");
+        assert!(stats.stream_chunks >= stats.stream_replays);
+        assert_eq!(stats.hits, 0, "nothing was materialized");
+
+        // Streaming over a shared trace cache: one generation, files
+        // streamed by every job, still byte-identical.
+        let dir =
+            std::env::temp_dir().join(format!("stms-campaign-stream-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cached = Campaign::with_caches(
+            cfg.clone(),
+            2,
+            CampaignCaches {
+                trace_dir: Some(dir.clone()),
+                stream_traces: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let from_disk: Vec<String> = cached
+            .run_figures(plans(&cfg))
+            .into_iter()
+            .map(|figure| figure.expect("no job fails").render())
+            .collect();
+        assert_eq!(from_disk, direct);
+        let stats = cached.store().stats();
+        assert_eq!(
+            stats.generated, 8,
+            "each distinct workload generated exactly once"
+        );
+        assert!(stats.disk_hits > stats.generated, "jobs streamed the files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_shard_reruns_only_the_missing_jobs_and_completes_the_manifest() {
+        let dir =
+            std::env::temp_dir().join(format!("stms-campaign-retry-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = quick();
+        let plans = |cfg: &ExperimentConfig| vec![crate::experiments::plan_table2(cfg)];
+        let campaign = Campaign::with_threads(cfg.clone(), 2);
+
+        // Seal a complete shard, then amputate two entries to fake the
+        // manifest a partially-failed `--shard` run leaves behind.
+        let run = campaign.run_shard(plans(&cfg), ShardSpec::new(1, 1).unwrap());
+        assert!(run.is_complete());
+        let complete_entries = run.manifest.entries.len();
+        assert_eq!(run.jobs_rerun, run.jobs_owned);
+        let mut partial = run.manifest.clone();
+        let removed: Vec<_> = partial.entries.drain(..2).collect();
+        let (path, _) = shard::write_manifest(&dir, &partial).unwrap();
+
+        // Retry executes exactly the two missing jobs…
+        let retry = campaign.retry_shard(plans(&cfg), &path).unwrap();
+        assert_eq!(retry.jobs_rerun, 2);
+        assert!(retry.is_complete());
+        assert_eq!(retry.manifest.entries.len(), complete_entries);
+        retry.write_manifest(&dir).unwrap();
+
+        // …and the rerun outputs are bit-identical to the originals, so the
+        // sealed-in-place manifest merges byte-identically.
+        let reopened = ShardManifest::open(&std::fs::read(&path).unwrap()).unwrap();
+        for (fingerprint, payload) in &removed {
+            let healed = reopened
+                .entries
+                .iter()
+                .find(|(fp, _)| fp == fingerprint)
+                .expect("missing job was rerun");
+            assert_eq!(&healed.1, payload, "deterministic rerun");
+        }
+        let direct = campaign
+            .run_figures(plans(&cfg))
+            .pop()
+            .unwrap()
+            .expect("no job fails")
+            .render();
+        let merged = campaign
+            .merge_shards(plans(&cfg), std::slice::from_ref(&dir))
+            .expect("completed manifest merges")
+            .pop()
+            .unwrap()
+            .render();
+        assert_eq!(merged, direct);
+
+        // Retrying a complete manifest is a no-op.
+        let idle = campaign.retry_shard(plans(&cfg), &path).unwrap();
+        assert_eq!(idle.jobs_rerun, 0);
+        assert!(idle.is_complete());
+
+        // A manifest sealed under a different configuration is refused.
+        let other = Campaign::with_threads(cfg.clone().with_accesses(123), 1);
+        match other.retry_shard(plans(&other.cfg().clone()), &path) {
+            Err(MergeError::StaleConfig { .. }) => {}
+            other => panic!("expected StaleConfig, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

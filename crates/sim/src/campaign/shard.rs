@@ -29,7 +29,7 @@
 //! share one `--result-cache` directory; the manifest is the *hand-off*
 //! artifact, the cache the *memo*.
 
-use super::job::{job_fingerprint, DecodeJobOutputError, JobOutput, JobSpec};
+use super::job::{job_fingerprint, DecodeJobOutputError, JobSpec};
 use crate::system::ExperimentConfig;
 use std::collections::HashMap;
 use std::fmt;
@@ -204,7 +204,7 @@ impl MergedShards {
     /// # Errors
     ///
     /// See [`MergeError`]. Coverage of a concrete job list is checked
-    /// separately by [`MergedShards::hydrate`], since manifests may
+    /// separately by [`MergedShards::check_coverage`], since manifests may
     /// legitimately carry more jobs than a narrower merge selection needs.
     pub fn load(cfg: &ExperimentConfig, dirs: &[PathBuf]) -> Result<Self, MergeError> {
         let expected_config = cfg.fingerprint();
@@ -293,18 +293,13 @@ impl MergedShards {
         &self.present
     }
 
-    /// Decodes one output per distinct job, in the given order.
+    /// Checks that every planned distinct job has an output in the set.
     ///
     /// # Errors
     ///
-    /// [`MergeError::IncompleteCoverage`] when any planned job is missing
-    /// from the manifest set (naming an example job and every absent shard
-    /// index), or [`MergeError::BadOutput`] when an entry's payload does not
-    /// decode.
-    pub fn hydrate(
-        &self,
-        distinct: &[(Fingerprint, JobSpec)],
-    ) -> Result<HashMap<Fingerprint, JobOutput>, MergeError> {
+    /// [`MergeError::IncompleteCoverage`], naming an example missing job and
+    /// every absent shard index.
+    pub fn check_coverage(&self, distinct: &[(Fingerprint, JobSpec)]) -> Result<(), MergeError> {
         let missing: Vec<&(Fingerprint, JobSpec)> = distinct
             .iter()
             .filter(|(fingerprint, _)| !self.outputs.contains_key(fingerprint))
@@ -321,16 +316,18 @@ impl MergedShards {
                 missing_shards,
             });
         }
-        let mut hydrated = HashMap::with_capacity(distinct.len());
-        for (fingerprint, _) in distinct {
-            let (_, payload) = &self.outputs[fingerprint];
-            let output = JobOutput::decode(payload).map_err(|error| MergeError::BadOutput {
-                fingerprint: *fingerprint,
-                error,
-            })?;
-            hydrated.insert(*fingerprint, output);
-        }
-        Ok(hydrated)
+        Ok(())
+    }
+
+    /// Removes and returns one job's encoded payload — the compaction hook:
+    /// the streaming merge takes each payload when its first consuming
+    /// figure decodes it (and drops the decode after the last consumer), so
+    /// peak merge memory tracks the *live* figure window instead of the
+    /// whole campaign grid.
+    pub fn take_payload(&mut self, fingerprint: Fingerprint) -> Option<Vec<u8>> {
+        self.outputs
+            .remove(&fingerprint)
+            .map(|(_, payload)| payload)
     }
 }
 

@@ -15,16 +15,19 @@
 //! Just as the paper's meta-data is practical because it lives *off-chip*
 //! and persists across program runs, a store opened with
 //! [`TraceStore::with_disk_tier`] persists each generated trace *across
-//! campaign processes*: the [`stms_types::Trace::encode`] blob is sealed in
-//! a versioned [`stms_types::blob`] envelope and written to
-//! `trace-<fingerprint>.stms`, where the fingerprint is the stable
-//! [`stms_types::Fingerprintable`] content fingerprint of the generating
-//! spec (never `std::hash::Hash`, whose output changes across builds). A
-//! later process re-reads the file instead of regenerating; any stale,
-//! truncated or corrupt file fails the envelope or codec checks and is
-//! silently evicted and regenerated. An optional byte budget
-//! ([`DiskTierConfig::max_bytes`]) evicts the oldest entries after each
-//! write, and [`TraceStoreStats`] accounts for every disk interaction.
+//! campaign processes*: the trace is streamed through the chunk-framed
+//! codec ([`stms_types::stream`], sealed in the versioned
+//! [`stms_types::blob`] envelope) into `trace-<fingerprint>.stms`, where
+//! the fingerprint is the stable [`stms_types::Fingerprintable`] content
+//! fingerprint of the generating spec (never `std::hash::Hash`, whose
+//! output changes across builds). A later process re-reads the file instead
+//! of regenerating — fully decoded on the materialized path, or chunk by
+//! chunk via [`TraceStore::replay_streaming`] so a warm campaign replays a
+//! trace it never fully decodes. Any stale, truncated or corrupt file fails
+//! the envelope, codec or per-chunk checks and is silently evicted and
+//! regenerated. An optional byte budget ([`DiskTierConfig::max_bytes`])
+//! evicts the oldest entries after each write, and [`TraceStoreStats`]
+//! accounts for every disk interaction.
 //!
 //! ```
 //! use stms_sim::campaign::{DiskTierConfig, TraceStore};
@@ -49,14 +52,18 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
-use std::io;
+use std::io::{self, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-use stms_types::{blob, Fingerprint, Fingerprintable, SharedTrace, Trace, TRACE_CODEC_VERSION};
-use stms_workloads::{generate, WorkloadSpec};
+use stms_types::stream::{
+    collect_trace, AccessChunk, ChunkedTraceWriter, TraceReader, TraceSource, TraceStreamError,
+    DEFAULT_CHUNK_LEN,
+};
+use stms_types::{blob, Fingerprint, Fingerprintable, SharedTrace, Trace, TraceMeta};
+use stms_workloads::{generate, TraceGenerator, WorkloadSpec};
 
 /// Counters describing how a [`TraceStore`] was used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +94,16 @@ pub struct TraceStoreStats {
     /// without one, the cumulative bytes written by this store (the
     /// directory is not rescanned on every write).
     pub disk_bytes: u64,
+    /// Replays served as a chunked stream ([`TraceStore::replay_streaming`])
+    /// — from a disk-tier reader or straight from the generator — without
+    /// ever materializing the trace.
+    pub stream_replays: u64,
+    /// Chunks handed to streamed replays (including chunks of attempts that
+    /// later failed mid-stream).
+    pub stream_chunks: u64,
+    /// Streamed replay attempts abandoned because the backing file failed
+    /// mid-stream (the file is evicted and the replay retried).
+    pub stream_fallbacks: u64,
 }
 
 /// Configuration of the persistent tier of a [`TraceStore`].
@@ -148,6 +165,18 @@ impl DiskTierConfig {
 pub struct TraceStore {
     entries: Mutex<HashMap<WorkloadSpec, Arc<OnceLock<SharedTrace>>>>,
     disk: Option<DiskTierConfig>,
+    /// Streaming mode: replays flow chunk by chunk through
+    /// [`TraceStore::replay_streaming`] instead of materializing traces.
+    streaming: bool,
+    /// Per-key generation locks of the streaming path (the streaming
+    /// counterpart of `entries`: the first requester persists the trace
+    /// while concurrent requesters for the same key wait, then stream the
+    /// file).
+    stream_locks: Mutex<HashMap<WorkloadSpec, Arc<Mutex<()>>>>,
+    /// Keys whose chunk-framed file could not be written (full or broken
+    /// cache directory); later streamed replays skip straight to the
+    /// generator instead of regenerating into the void each time.
+    failed_stream_writes: Mutex<HashSet<WorkloadSpec>>,
     hits: AtomicU64,
     misses: AtomicU64,
     generated: AtomicU64,
@@ -157,6 +186,9 @@ pub struct TraceStore {
     disk_writes: AtomicU64,
     disk_evictions: AtomicU64,
     disk_bytes: AtomicU64,
+    stream_replays: AtomicU64,
+    stream_chunks: AtomicU64,
+    stream_fallbacks: AtomicU64,
 }
 
 /// File-name prefix of persisted traces (distinguishes them from result
@@ -248,6 +280,215 @@ impl TraceStore {
         self.disk.as_ref().map(|d| d.dir.as_path())
     }
 
+    /// Returns the store with streaming mode switched on or off.
+    ///
+    /// In streaming mode the campaign replays traces through
+    /// [`TraceStore::replay_streaming`] — chunk by chunk, never
+    /// materialized — so peak memory is independent of trace length.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Whether replays should stream instead of materializing.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Replays the trace for `spec` as a chunked stream, without ever
+    /// materializing it: `run` receives a [`TraceSource`] and drives the
+    /// simulation to completion.
+    ///
+    /// With a disk tier, the trace is generated *straight to a sealed
+    /// chunk-framed file* on first request (concurrent requesters of the
+    /// same key wait, then stream the file), and every replay — cold or
+    /// warm, this process or a later one — reads it back one chunk at a
+    /// time, so neither the encoded nor the decoded trace is ever resident.
+    /// Without a disk tier, `run` streams directly from the resumable
+    /// generator.
+    ///
+    /// `run` may be invoked more than once: when a backing file fails
+    /// mid-stream (corrupt chunk, truncation), the file is evicted, the
+    /// attempt is counted in [`TraceStoreStats::stream_fallbacks`], and the
+    /// replay restarts — regenerating the file once, then falling back to
+    /// the generator directly. Failures therefore never surface to the
+    /// caller; the streamed access sequence is always exactly what
+    /// [`TraceStore::get_or_generate`] would have replayed.
+    pub fn replay_streaming<T>(
+        &self,
+        spec: &WorkloadSpec,
+        accesses: usize,
+        mut run: impl FnMut(&mut dyn TraceSource) -> Result<T, TraceStreamError>,
+    ) -> T {
+        let key = spec.clone().with_accesses(accesses);
+        if let Some(disk) = &self.disk {
+            let fingerprint = key.fingerprint();
+            // Two rounds: if the file from the first round fails mid-stream
+            // it is evicted, and the second round regenerates it once. A
+            // key whose file cannot be *written* (full or broken cache
+            // directory) skips straight to the generator instead of
+            // regenerating into the void every round.
+            for round in 0..2 {
+                if !self.ensure_on_disk(disk, &key, fingerprint) {
+                    break;
+                }
+                match self.stream_from_disk(disk, &key, fingerprint, &mut run) {
+                    Ok(value) => {
+                        self.stream_replays.fetch_add(1, Ordering::Relaxed);
+                        return value;
+                    }
+                    Err(()) => {
+                        self.stream_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        if round == 0 {
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        // No disk tier (or a disk that keeps failing): stream straight from
+        // the resumable generator.
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        self.stream_replays.fetch_add(1, Ordering::Relaxed);
+        let mut generator = TraceGenerator::new(&key);
+        let mut counted = CountingSource {
+            inner: &mut generator,
+            chunks: &self.stream_chunks,
+        };
+        run(&mut counted).expect("generator-backed trace sources cannot fail")
+    }
+
+    /// Makes sure a sealed chunk-framed file exists for `key`, generating
+    /// it chunk by chunk if missing, and reports whether the file is
+    /// available. Concurrent requesters of the same key serialize on a
+    /// per-key lock so the trace is generated at most once; a failed write
+    /// is remembered per key, so a full or broken cache directory costs one
+    /// wasted generation per key, not one per replay attempt.
+    fn ensure_on_disk(
+        &self,
+        disk: &DiskTierConfig,
+        key: &WorkloadSpec,
+        fingerprint: Fingerprint,
+    ) -> bool {
+        let lock = self.stream_lock_for(key);
+        let _guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if self
+            .failed_stream_writes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(key)
+        {
+            return false;
+        }
+        let path = trace_path(&disk.dir, fingerprint);
+        if path.is_file() {
+            return true;
+        }
+        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        let mut generator = TraceGenerator::new(key);
+        match write_chunked_file(&disk.dir, &path, fingerprint, &mut generator) {
+            Ok(bytes) => {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                self.enforce_budget(disk, &path, bytes);
+                true
+            }
+            Err(_) => {
+                self.failed_stream_writes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key.clone());
+                false
+            }
+        }
+    }
+
+    /// The per-key serialization point of the streaming path.
+    fn stream_lock_for(&self, key: &WorkloadSpec) -> Arc<Mutex<()>> {
+        let mut locks = self
+            .stream_locks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            locks
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+
+    /// Evicts the streamed cache file for `key` — but only if the file at
+    /// `path` is still the one this attempt opened (same length and mtime,
+    /// checked under the per-key lock). A concurrent attempt that already
+    /// evicted the bad file and regenerated a good one at the same path
+    /// must not have its fresh file deleted by a straggler still reading
+    /// the old inode.
+    fn evict_stream_file(&self, key: &WorkloadSpec, path: &Path, opened: Option<&fs::Metadata>) {
+        let lock = self.stream_lock_for(key);
+        let _guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let unchanged = match (opened, fs::metadata(path)) {
+            (Some(opened), Ok(current)) => {
+                current.len() == opened.len() && current.modified().ok() == opened.modified().ok()
+            }
+            // File already gone: nothing to evict.
+            (_, Err(_)) => false,
+            // Could not stat the opened file: be conservative and evict.
+            (None, Ok(_)) => true,
+        };
+        if unchanged {
+            self.evict_corrupt(path);
+        }
+    }
+
+    /// One streamed replay attempt against the persisted file. `Err(())`
+    /// means the file was unusable (now evicted) and the caller should
+    /// retry or fall back.
+    fn stream_from_disk<T>(
+        &self,
+        disk: &DiskTierConfig,
+        key: &WorkloadSpec,
+        fingerprint: Fingerprint,
+        run: &mut impl FnMut(&mut dyn TraceSource) -> Result<T, TraceStreamError>,
+    ) -> Result<T, ()> {
+        let path = trace_path(&disk.dir, fingerprint);
+        let Ok(file) = fs::File::open(&path) else {
+            return Err(()); // generation failed or the file was evicted
+        };
+        // Identity of the file this attempt reads, for the eviction check:
+        // taken from the open handle, so it cannot race a replacement.
+        let opened = file.metadata().ok();
+        let mut reader = match TraceReader::new(BufReader::new(file), fingerprint) {
+            Ok(reader) => reader,
+            Err(_) => {
+                self.evict_stream_file(key, &path, opened.as_ref());
+                return Err(());
+            }
+        };
+        // Deep verification (`--cache-verify`), mirroring the materialized
+        // path's `trace_matches_spec`: the stream's header must describe
+        // exactly what generating `key` would produce.
+        if disk.verify && !reader_matches_spec(&reader, key) {
+            self.evict_stream_file(key, &path, opened.as_ref());
+            return Err(());
+        }
+        let mut counted = CountingSource {
+            inner: &mut reader,
+            chunks: &self.stream_chunks,
+        };
+        match run(&mut counted) {
+            Ok(value) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(value)
+            }
+            Err(_) => {
+                // Corrupt or truncated mid-stream: the partial simulation
+                // is discarded with the file (unless a concurrent attempt
+                // already replaced it with a regenerated one).
+                self.evict_stream_file(key, &path, opened.as_ref());
+                Err(())
+            }
+        }
+    }
+
     /// Returns the trace for `spec` at the campaign's trace length, loading
     /// it from the disk tier or generating it on first request.
     ///
@@ -311,8 +552,8 @@ impl TraceStore {
         trace.into_shared()
     }
 
-    /// Attempts to read, unseal and decode the cache file for `key`,
-    /// evicting it on any failure.
+    /// Attempts to open and fully decode the chunk-framed cache file for
+    /// `key`, evicting it on any failure.
     fn load_from_disk(
         &self,
         disk: &DiskTierConfig,
@@ -320,19 +561,16 @@ impl TraceStore {
         fingerprint: Fingerprint,
     ) -> Option<Trace> {
         let path = trace_path(&disk.dir, fingerprint);
-        let payload = match read_sealed(&path, TRACE_CODEC_VERSION, fingerprint) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return None, // plain cold miss
-            Err(()) => {
-                self.evict_corrupt(&path);
-                return None;
-            }
+        let Ok(file) = fs::File::open(&path) else {
+            return None; // plain cold miss
         };
-        let trace = Trace::decode(&payload)
+        let trace = TraceReader::new(BufReader::new(file), fingerprint)
+            .and_then(|mut reader| collect_trace(&mut reader))
             .ok()
             .filter(|trace| !disk.verify || trace_matches_spec(trace, key));
         if trace.is_none() {
-            // Stale or corrupt behind a valid envelope: evict so the
+            // Stale or corrupt behind a valid envelope (or a legacy
+            // whole-trace blob from an older codec): evict so the
             // regenerated trace replaces it.
             self.evict_corrupt(&path);
         }
@@ -344,17 +582,18 @@ impl TraceStore {
         let _ = fs::remove_file(path);
     }
 
-    /// Writes the sealed trace blob atomically, then enforces the byte
-    /// budget. Persistence failures are deliberately swallowed: the cache
-    /// is an optimization, never a correctness dependency.
+    /// Streams the sealed chunk-framed trace blob to disk atomically, then
+    /// enforces the byte budget. Persistence failures are deliberately
+    /// swallowed: the cache is an optimization, never a correctness
+    /// dependency.
     fn persist(&self, disk: &DiskTierConfig, trace: &Trace, fingerprint: Fingerprint) {
         let path = trace_path(&disk.dir, fingerprint);
-        let payload = trace.encode();
-        if !write_sealed(&disk.dir, &path, TRACE_CODEC_VERSION, fingerprint, &payload) {
+        let mut source = trace.chunks(DEFAULT_CHUNK_LEN);
+        let Ok(bytes) = write_chunked_file(&disk.dir, &path, fingerprint, &mut source) else {
             return;
-        }
+        };
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
-        self.enforce_budget(disk, &path, blob::sealed_len(payload.len()) as u64);
+        self.enforce_budget(disk, &path, bytes);
     }
 
     /// Evicts the oldest trace files until the directory's trace bytes fit
@@ -412,6 +651,9 @@ impl TraceStore {
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
             disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
+            stream_replays: self.stream_replays.load(Ordering::Relaxed),
+            stream_chunks: self.stream_chunks.load(Ordering::Relaxed),
+            stream_fallbacks: self.stream_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -421,6 +663,14 @@ impl TraceStore {
     /// of the disk tier.
     pub fn clear(&self) {
         self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.stream_locks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.failed_stream_writes
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
@@ -434,9 +684,70 @@ impl TraceStore {
             &self.disk_writes,
             &self.disk_evictions,
             &self.disk_bytes,
+            &self.stream_replays,
+            &self.stream_chunks,
+            &self.stream_fallbacks,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// Streams any [`TraceSource`] into a sealed chunk-framed trace file,
+/// atomically (unique temp file, then rename). Returns the sealed size in
+/// bytes. Neither the trace nor its encoding is ever materialized — the
+/// writer computes the envelope up front and folds the checksum as chunks
+/// flow through, so this is the out-of-core write path.
+fn write_chunked_file(
+    dir: &Path,
+    path: &Path,
+    key: Fingerprint,
+    source: &mut dyn TraceSource,
+) -> Result<u64, TraceStreamError> {
+    let tmp = dir.join(unique_tmp_name(key));
+    let result = (|| {
+        let file = fs::File::create(&tmp)?;
+        let meta: TraceMeta = source.meta().clone();
+        let total = source.total_accesses();
+        let mut writer =
+            ChunkedTraceWriter::new(BufWriter::new(file), key, &meta, total, DEFAULT_CHUNK_LEN)?;
+        while let Some(chunk) = source.next_chunk()? {
+            writer.push(chunk.accesses)?;
+        }
+        writer.finish()?;
+        let bytes = fs::metadata(&tmp)?.len();
+        fs::rename(&tmp, path)?;
+        Ok(bytes)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A pass-through [`TraceSource`] that counts delivered chunks into a
+/// store-level gauge (the `streamed N chunks` line of the run summary).
+struct CountingSource<'a, S: TraceSource + ?Sized> {
+    inner: &'a mut S,
+    chunks: &'a AtomicU64,
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for CountingSource<'_, S> {
+    fn meta(&self) -> &TraceMeta {
+        self.inner.meta()
+    }
+
+    fn total_accesses(&self) -> u64 {
+        self.inner.total_accesses()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+        let chunks = self.chunks;
+        let result = self.inner.next_chunk();
+        if let Ok(Some(_)) = &result {
+            chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 }
 
@@ -455,6 +766,15 @@ fn trace_matches_spec(trace: &Trace, key: &WorkloadSpec) -> bool {
         && trace.meta().workload == key.name
         && trace.meta().seed == key.seed
         && trace.meta().cores == key.cores
+}
+
+/// The streaming counterpart of [`trace_matches_spec`]: the same checks
+/// against a chunk-framed stream's header, before any chunk is replayed.
+fn reader_matches_spec<R: std::io::Read>(reader: &TraceReader<R>, key: &WorkloadSpec) -> bool {
+    reader.total_accesses() == key.accesses as u64
+        && reader.meta().workload == key.name
+        && reader.meta().seed == key.seed
+        && reader.meta().cores == key.cores
 }
 
 struct CacheFile {
@@ -615,7 +935,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(
             trace_path(&dir, key.fingerprint()),
-            blob::seal(TRACE_CODEC_VERSION, key.fingerprint(), &wrong.encode()),
+            stms_types::stream::encode_chunked(&wrong, key.fingerprint(), DEFAULT_CHUNK_LEN),
         )
         .unwrap();
 
@@ -632,6 +952,185 @@ mod tests {
         let stats = verifying.stats();
         assert_eq!((stats.disk_corrupt, stats.generated), (1, 1));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Collects a streamed replay into a flat access vector (stand-in for
+    /// the simulator driving a [`TraceSource`]).
+    fn drain(source: &mut dyn TraceSource) -> Result<Vec<stms_types::MemAccess>, TraceStreamError> {
+        let mut all = Vec::new();
+        while let Some(chunk) = source.next_chunk()? {
+            all.extend_from_slice(chunk.accesses);
+        }
+        Ok(all)
+    }
+
+    #[test]
+    fn streaming_replay_without_disk_streams_the_generator() {
+        let store = TraceStore::new().with_streaming(true);
+        assert!(store.is_streaming());
+        let spec = presets::web_apache();
+        let accesses = store.replay_streaming(&spec, 2_000, drain);
+        assert_eq!(
+            accesses,
+            generate(&spec.clone().with_accesses(2_000)).accesses()
+        );
+        let stats = store.stats();
+        assert_eq!((stats.generated, stats.stream_replays), (1, 1));
+        assert!(stats.stream_chunks >= 1);
+        assert_eq!(stats.disk_writes, 0);
+    }
+
+    #[test]
+    fn streaming_replay_persists_once_and_streams_warm_from_disk() {
+        let dir = temp_dir("stream-warm");
+        let spec = presets::web_apache();
+        let expect = generate(&spec.clone().with_accesses(3_000));
+
+        let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        let first = cold.replay_streaming(&spec, 3_000, drain);
+        assert_eq!(first, expect.accesses());
+        let stats = cold.stats();
+        assert_eq!(
+            (stats.generated, stats.disk_writes, stats.disk_hits),
+            (1, 1, 1),
+            "generated straight to disk, then streamed back"
+        );
+        // A second replay in the same process streams the same file.
+        let again = cold.replay_streaming(&spec, 3_000, drain);
+        assert_eq!(again, expect.accesses());
+        assert_eq!(cold.stats().generated, 1, "no regeneration");
+
+        // A fresh store (a new process) streams without generating at all.
+        let warm = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        let streamed = warm.replay_streaming(&spec, 3_000, drain);
+        assert_eq!(streamed, expect.accesses());
+        let stats = warm.stats();
+        assert_eq!((stats.generated, stats.disk_hits), (0, 1));
+        assert!(stats.stream_chunks >= 1);
+
+        // And the file is shared with the materialized path: bit-identical.
+        let materialized = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
+        assert_eq!(*materialized.get_or_generate(&spec, 3_000), expect);
+        assert_eq!(materialized.stats().disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_replay_recovers_from_mid_stream_corruption() {
+        let dir = temp_dir("stream-corrupt");
+        let spec = presets::dss_qry17();
+        let expect = generate(&spec.clone().with_accesses(2_500));
+
+        let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        cold.replay_streaming(&spec, 2_500, drain);
+        let path = trace_path(&dir, spec.clone().with_accesses(2_500).fingerprint());
+        assert!(path.is_file());
+
+        // Corrupt a byte deep in the payload: the header still opens, so the
+        // failure only surfaces mid-stream.
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 100;
+        bytes[at] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        let fresh = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        let streamed = fresh.replay_streaming(&spec, 2_500, drain);
+        assert_eq!(streamed, expect.accesses(), "fallback replays correctly");
+        let stats = fresh.stats();
+        assert!(stats.stream_fallbacks >= 1, "{stats:?}");
+        assert_eq!(stats.disk_corrupt, 1, "the bad file was evicted");
+        assert_eq!(stats.generated, 1, "regenerated once");
+        // The regenerated file is intact for the next replay.
+        let verify = TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_verify(true))
+            .unwrap()
+            .with_streaming(true);
+        assert_eq!(
+            verify.replay_streaming(&spec, 2_500, drain),
+            expect.accesses()
+        );
+        assert_eq!(verify.stats().generated, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_verify_rejects_stale_content_behind_a_valid_envelope() {
+        let dir = temp_dir("stream-stale");
+        let spec = presets::sci_ocean();
+        let key = spec.clone().with_accesses(1_000);
+
+        // Seal a *different* trace (other seed) under this key's name.
+        let wrong = generate(&spec.clone().with_seed(spec.seed + 1).with_accesses(1_000));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            trace_path(&dir, key.fingerprint()),
+            stms_types::stream::encode_chunked(&wrong, key.fingerprint(), DEFAULT_CHUNK_LEN),
+        )
+        .unwrap();
+
+        // Without verify the envelope looks fine and the stale stream wins…
+        let trusting = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        assert_eq!(
+            trusting.replay_streaming(&spec, 1_000, drain),
+            wrong.accesses()
+        );
+
+        // …with verify the header mismatch is caught before any chunk is
+        // replayed, the file evicted, and the right trace regenerated.
+        let verifying = TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_verify(true))
+            .unwrap()
+            .with_streaming(true);
+        assert_eq!(
+            verifying.replay_streaming(&spec, 1_000, drain),
+            generate(&key).accesses()
+        );
+        let stats = verifying.stats();
+        assert_eq!(stats.disk_corrupt, 1, "{stats:?}");
+        assert_eq!(stats.generated, 1, "{stats:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_remembers_unwritable_cache_dirs() {
+        let dir = temp_dir("stream-unwritable");
+        let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        // Break the cache directory after the store opened it: every write
+        // attempt now fails.
+        fs::remove_dir_all(&dir).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
+
+        let spec = presets::web_apache();
+        let expect = generate(&spec.clone().with_accesses(1_200));
+        assert_eq!(
+            store.replay_streaming(&spec, 1_200, drain),
+            expect.accesses()
+        );
+        let after_first = store.stats().generated;
+        assert_eq!(
+            store.replay_streaming(&spec, 1_200, drain),
+            expect.accesses()
+        );
+        let stats = store.stats();
+        assert_eq!(
+            stats.generated,
+            after_first + 1,
+            "the failed write is remembered: later replays generate once, \
+             not once per round ({stats:?})"
+        );
+        assert_eq!(stats.disk_writes, 0);
+        assert_eq!(stats.stream_replays, 2);
+        let _ = fs::remove_file(&dir);
     }
 
     #[test]

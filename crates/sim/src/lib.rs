@@ -51,7 +51,7 @@ pub use campaign::{
 };
 pub use experiments::FigureResult;
 pub use runner::{
-    build_trace, collect_miss_sequences, run_matched, run_suite, run_trace, run_workload,
-    PrefetcherKind,
+    build_trace, collect_miss_sequences, run_matched, run_source, run_suite, run_trace,
+    run_workload, PrefetcherKind,
 };
 pub use system::{ExperimentConfig, CAPACITY_SCALE};

@@ -127,11 +127,37 @@ impl ShardReport {
     }
 }
 
-/// An ordered collection of [`ShardReport`]s and [`CacheReport`]s rendered
-/// as one block.
+/// Counters of the out-of-core replay path (`--stream-traces`): how many
+/// replays were served as chunked streams, how many chunks flowed through
+/// them, and how many attempts had to fall back to regeneration because a
+/// backing file failed mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamReport {
+    /// Replays served chunk by chunk, without a materialized trace.
+    pub replays: u64,
+    /// Chunks delivered to those replays.
+    pub chunks: u64,
+    /// Streamed attempts abandoned mid-stream (evicted and retried).
+    pub fallbacks: u64,
+}
+
+impl StreamReport {
+    /// One summary line, e.g.
+    /// `streamed replay: 16 replays, 128 chunks, 0 fallbacks`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "streamed replay: {} replays, {} chunks, {} fallbacks",
+            self.replays, self.chunks, self.fallbacks
+        )
+    }
+}
+
+/// An ordered collection of [`ShardReport`]s, [`StreamReport`]s and
+/// [`CacheReport`]s rendered as one block.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
     shards: Vec<ShardReport>,
+    streams: Vec<StreamReport>,
     reports: Vec<CacheReport>,
 }
 
@@ -151,13 +177,20 @@ impl RunSummary {
         self.shards.push(report);
     }
 
+    /// Appends the streamed-replay report (rendered between the shard and
+    /// cache lines).
+    pub fn push_stream(&mut self, report: StreamReport) {
+        self.streams.push(report);
+    }
+
     /// Whether any report was added.
     pub fn is_empty(&self) -> bool {
-        self.reports.is_empty() && self.shards.is_empty()
+        self.reports.is_empty() && self.shards.is_empty() && self.streams.is_empty()
     }
 
     /// The rendered block: a `run summary:` header plus one indented line
-    /// per shard and per tier. Empty summaries render as an empty string.
+    /// per shard, stream and tier. Empty summaries render as an empty
+    /// string.
     pub fn render(&self) -> String {
         if self.is_empty() {
             return String::new();
@@ -166,6 +199,11 @@ impl RunSummary {
         for shard in &self.shards {
             out.push_str("  ");
             out.push_str(&shard.render_line());
+            out.push('\n');
+        }
+        for stream in &self.streams {
+            out.push_str("  ");
+            out.push_str(&stream.render_line());
             out.push('\n');
         }
         for report in &self.reports {
@@ -242,6 +280,40 @@ mod tests {
         assert_eq!(lines[0], "run summary:");
         assert!(lines[1].starts_with("  shard 2/2:"), "{}", lines[1]);
         assert!(lines[2].starts_with("  traces:"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn stream_report_renders_between_shards_and_caches() {
+        let report = StreamReport {
+            replays: 16,
+            chunks: 128,
+            fallbacks: 1,
+        };
+        assert_eq!(
+            report.render_line(),
+            "streamed replay: 16 replays, 128 chunks, 1 fallbacks"
+        );
+        let mut summary = RunSummary::new();
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_stream(report);
+        summary.push_shard(ShardReport {
+            index: 1,
+            count: 1,
+            jobs_total: 2,
+            jobs_owned: 2,
+            jobs_sealed: 2,
+            jobs_failed: 0,
+            manifest_bytes: 9,
+        });
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert!(lines[1].starts_with("  shard"), "{}", lines[1]);
+        assert!(lines[2].starts_with("  streamed replay:"), "{}", lines[2]);
+        assert!(lines[3].starts_with("  traces:"), "{}", lines[3]);
+
+        let mut only_stream = RunSummary::new();
+        assert!(only_stream.is_empty());
+        only_stream.push_stream(StreamReport::default());
+        assert!(!only_stream.is_empty());
     }
 
     #[test]

@@ -46,8 +46,12 @@ const BLOB_MAGIC: [u8; 4] = *b"STMB";
 const ENVELOPE_VERSION: u16 = 1;
 
 /// Fixed header size: magic + envelope version + codec version + key +
-/// payload length.
-const HEADER_LEN: usize = 4 + 2 + 2 + 16 + 8;
+/// payload length. Public so streaming readers/writers ([`crate::stream`])
+/// can frame their I/O without materializing a whole file.
+pub const HEADER_LEN: usize = 4 + 2 + 2 + 16 + 8;
+
+/// Trailing checksum size of a sealed blob.
+pub const CHECKSUM_LEN: usize = 8;
 
 /// Why a sealed blob could not be opened.
 ///
@@ -105,10 +109,80 @@ impl fmt::Display for BlobError {
 
 impl std::error::Error for BlobError {}
 
+/// Folds an incremental payload hash into the 64-bit checksum recorded at
+/// the end of a sealed blob. Streaming writers/readers feed payload bytes
+/// through a [`Fingerprinter`] as they go and finish with this, so their
+/// checksum is bit-identical to [`seal`]/[`open`] over the same bytes.
+pub(crate) fn checksum_finish(fp: &Fingerprinter) -> u64 {
+    fp.finish().raw() as u64
+}
+
 fn checksum(payload: &[u8]) -> u64 {
     let mut fp = Fingerprinter::new();
     fp.write_bytes(payload);
-    fp.finish().raw() as u64
+    checksum_finish(&fp)
+}
+
+/// The decoded fixed-size header of a sealed blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobHeader {
+    /// Payload codec version recorded in the header.
+    pub codec_version: u16,
+    /// Cache-key fingerprint recorded in the header.
+    pub key: Fingerprint,
+    /// Payload length in bytes (excludes header and trailing checksum).
+    pub payload_len: u64,
+}
+
+/// Encodes the fixed-size header of a sealed blob (shared by [`seal`] and
+/// the streaming writer in [`crate::stream`]).
+pub fn encode_header(codec_version: u16, key: Fingerprint, payload_len: u64) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[0..4].copy_from_slice(&BLOB_MAGIC);
+    out[4..6].copy_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    out[6..8].copy_from_slice(&codec_version.to_le_bytes());
+    out[8..24].copy_from_slice(&key.raw().to_le_bytes());
+    out[24..32].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Parses and validates the fixed-size header of a sealed blob: the magic
+/// and the envelope version are checked here; the payload codec version and
+/// key are returned for the caller to check (a streaming reader reports
+/// those through its own error type).
+///
+/// # Errors
+///
+/// [`BlobError::Truncated`], [`BlobError::BadMagic`] or
+/// [`BlobError::UnsupportedEnvelope`].
+pub fn parse_header(data: &[u8]) -> Result<BlobHeader, BlobError> {
+    // Name the first missing field, so a truncated prefix reads the same as
+    // it always has through `open`.
+    for (end, what) in [
+        (4, "magic"),
+        (6, "envelope version"),
+        (8, "codec version"),
+        (24, "key fingerprint"),
+        (HEADER_LEN, "payload length"),
+    ] {
+        if data.len() < end {
+            return Err(BlobError::Truncated { what });
+        }
+    }
+    if data[0..4] != BLOB_MAGIC {
+        return Err(BlobError::BadMagic);
+    }
+    let envelope = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+    if envelope != ENVELOPE_VERSION {
+        return Err(BlobError::UnsupportedEnvelope { found: envelope });
+    }
+    Ok(BlobHeader {
+        codec_version: u16::from_le_bytes(data[6..8].try_into().expect("2 bytes")),
+        key: Fingerprint::from_raw(u128::from_le_bytes(
+            data[8..24].try_into().expect("16 bytes"),
+        )),
+        payload_len: u64::from_le_bytes(data[24..32].try_into().expect("8 bytes")),
+    })
 }
 
 /// Total on-disk size of a sealed blob carrying `payload_len` payload
@@ -120,12 +194,8 @@ pub fn sealed_len(payload_len: usize) -> usize {
 /// Wraps `payload` in a sealed envelope for the given payload codec version
 /// and cache key.
 pub fn seal(codec_version: u16, key: Fingerprint, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
-    out.extend_from_slice(&BLOB_MAGIC);
-    out.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
-    out.extend_from_slice(&codec_version.to_le_bytes());
-    out.extend_from_slice(&key.raw().to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&encode_header(codec_version, key, payload.len() as u64));
     out.extend_from_slice(payload);
     out.extend_from_slice(&checksum(payload).to_le_bytes());
     out
@@ -160,40 +230,15 @@ pub fn open(data: &[u8], codec_version: u16, key: Fingerprint) -> Result<&[u8], 
 /// Same as [`open`], except that [`BlobError::KeyMismatch`] is never
 /// returned (the caller owns that check).
 pub fn open_any(data: &[u8], codec_version: u16) -> Result<(Fingerprint, &[u8]), BlobError> {
-    let take = |data: &[u8], at: usize, n: usize, what: &'static str| {
-        data.get(at..at + n)
-            .ok_or(BlobError::Truncated { what })
-            .map(<[u8]>::to_vec)
-    };
-    let u16_at = |at: usize, what: &'static str| -> Result<u16, BlobError> {
-        Ok(u16::from_le_bytes(
-            take(data, at, 2, what)?.try_into().expect("2 bytes"),
-        ))
-    };
-    if take(data, 0, 4, "magic")? != BLOB_MAGIC {
-        return Err(BlobError::BadMagic);
-    }
-    let envelope = u16_at(4, "envelope version")?;
-    if envelope != ENVELOPE_VERSION {
-        return Err(BlobError::UnsupportedEnvelope { found: envelope });
-    }
-    let codec = u16_at(6, "codec version")?;
-    if codec != codec_version {
+    let header = parse_header(data)?;
+    if header.codec_version != codec_version {
         return Err(BlobError::CodecVersionMismatch {
-            found: codec,
+            found: header.codec_version,
             expected: codec_version,
         });
     }
-    let found_key = u128::from_le_bytes(
-        take(data, 8, 16, "key fingerprint")?
-            .try_into()
-            .expect("16 bytes"),
-    );
-    let len = u64::from_le_bytes(
-        take(data, 24, 8, "payload length")?
-            .try_into()
-            .expect("8 bytes"),
-    ) as usize;
+    let found_key = header.key.raw();
+    let len = header.payload_len as usize;
     // The length field is untrusted on-disk data: all arithmetic on it must
     // be checked, so a vandalized length is a clean Truncated error rather
     // than an overflow panic.
@@ -201,13 +246,14 @@ pub fn open_any(data: &[u8], codec_version: u16) -> Result<(Fingerprint, &[u8]),
         .checked_add(len)
         .ok_or(BlobError::Truncated { what: "payload" })?;
     let total = payload_end
-        .checked_add(8)
+        .checked_add(CHECKSUM_LEN)
         .ok_or(BlobError::Truncated { what: "checksum" })?;
     let payload = data
         .get(HEADER_LEN..payload_end)
         .ok_or(BlobError::Truncated { what: "payload" })?;
     let recorded = u64::from_le_bytes(
-        take(data, payload_end, 8, "checksum")?
+        data.get(payload_end..payload_end + CHECKSUM_LEN)
+            .ok_or(BlobError::Truncated { what: "checksum" })?
             .try_into()
             .expect("8 bytes"),
     );

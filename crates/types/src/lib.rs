@@ -26,6 +26,7 @@ pub mod blob;
 pub mod fingerprint;
 pub mod ids;
 pub mod manifest;
+pub mod stream;
 pub mod time;
 pub mod trace;
 
@@ -34,5 +35,9 @@ pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
 pub use fingerprint::{Fingerprint, Fingerprintable, Fingerprinter};
 pub use ids::CoreId;
 pub use manifest::{ManifestError, ShardManifest, MANIFEST_CODEC_VERSION};
+pub use stream::{
+    AccessChunk, ChunkedTraceWriter, TraceChunks, TraceReader, TraceSource, TraceStreamError,
+    DEFAULT_CHUNK_LEN, TRACE_CHUNKED_CODEC_VERSION,
+};
 pub use time::Cycle;
 pub use trace::{SharedTrace, Trace, TraceMeta, TRACE_CODEC_VERSION};

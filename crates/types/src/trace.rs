@@ -7,7 +7,7 @@
 //! disk between experiment runs.
 
 use crate::{AccessKind, CoreId, LineAddr, MemAccess};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -91,6 +91,19 @@ pub enum DecodeTraceError {
         /// The unknown tag value.
         tag: u8,
     },
+    /// A chunk frame of the chunk-framed codec ([`crate::stream`]) declares
+    /// an access count inconsistent with the trace header (every frame must
+    /// carry exactly `chunk_len` accesses except the last).
+    BadChunkFraming {
+        /// 0-based index of the inconsistent chunk.
+        chunk: u64,
+    },
+    /// A chunk's record bytes do not match the checksum recorded in its
+    /// frame (chunk-framed codec only).
+    ChunkChecksumMismatch {
+        /// 0-based index of the corrupt chunk.
+        chunk: u64,
+    },
 }
 
 impl fmt::Display for DecodeTraceError {
@@ -106,6 +119,18 @@ impl fmt::Display for DecodeTraceError {
             DecodeTraceError::InvalidAccessKind { tag } => {
                 write!(f, "malformed binary trace: invalid access kind {tag}")
             }
+            DecodeTraceError::BadChunkFraming { chunk } => {
+                write!(
+                    f,
+                    "malformed binary trace: inconsistent framing of chunk {chunk}"
+                )
+            }
+            DecodeTraceError::ChunkChecksumMismatch { chunk } => {
+                write!(
+                    f,
+                    "malformed binary trace: checksum mismatch in chunk {chunk}"
+                )
+            }
         }
     }
 }
@@ -113,6 +138,51 @@ impl fmt::Display for DecodeTraceError {
 impl std::error::Error for DecodeTraceError {}
 
 const TRACE_MAGIC: u32 = 0x53_54_4d_53; // "STMS"
+
+/// Size in bytes of one encoded access record. Shared by the whole-trace
+/// codec below and the chunk-framed codec in [`crate::stream`], which is
+/// what keeps the two encodings byte-for-byte identical at the record level
+/// (and makes chunked payload sizes computable up front).
+pub(crate) const ACCESS_RECORD_BYTES: usize = 2 + 8 + 1 + 4;
+
+/// Appends the canonical big-endian encoding of one access record.
+pub(crate) fn put_access(out: &mut Vec<u8>, a: &MemAccess) {
+    out.extend_from_slice(&(a.core.index() as u16).to_be_bytes());
+    out.extend_from_slice(&a.line.raw().to_be_bytes());
+    let kind = match a.kind {
+        AccessKind::Read => 0u8,
+        AccessKind::Write => 1,
+        AccessKind::InstrFetch => 2,
+    };
+    out.push(kind | if a.dependent { 0x80 } else { 0 });
+    out.extend_from_slice(&a.compute_gap.to_be_bytes());
+}
+
+/// Parses one access record from the front of `data`, advancing it.
+pub(crate) fn parse_access(data: &mut &[u8]) -> Result<MemAccess, DecodeTraceError> {
+    if data.remaining() < ACCESS_RECORD_BYTES {
+        return Err(DecodeTraceError::Truncated {
+            what: "truncated access",
+        });
+    }
+    let core = CoreId::new(data.get_u16());
+    let line = LineAddr::new(data.get_u64());
+    let flags = data.get_u8();
+    let kind = match flags & 0x7f {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::InstrFetch,
+        tag => return Err(DecodeTraceError::InvalidAccessKind { tag }),
+    };
+    let compute_gap = data.get_u32();
+    Ok(MemAccess {
+        core,
+        line,
+        kind,
+        compute_gap,
+        dependent: flags & 0x80 != 0,
+    })
+}
 
 /// Version of the [`Trace::encode`] payload codec.
 ///
@@ -194,28 +264,20 @@ impl Trace {
 
     /// Encodes the trace into a compact binary representation.
     pub fn encode(&self) -> Bytes {
-        let mut buf =
-            BytesMut::with_capacity(32 + self.meta.workload.len() + self.accesses.len() * 16);
-        buf.put_u32(TRACE_MAGIC);
-        buf.put_u16(self.meta.workload.len() as u16);
-        buf.put_slice(self.meta.workload.as_bytes());
-        buf.put_u16(self.meta.cores as u16);
-        buf.put_u64(self.meta.seed);
-        buf.put_u64(self.meta.footprint_lines);
-        buf.put_u64(self.accesses.len() as u64);
+        let mut buf = Vec::with_capacity(
+            32 + self.meta.workload.len() + self.accesses.len() * ACCESS_RECORD_BYTES,
+        );
+        buf.extend_from_slice(&TRACE_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&(self.meta.workload.len() as u16).to_be_bytes());
+        buf.extend_from_slice(self.meta.workload.as_bytes());
+        buf.extend_from_slice(&(self.meta.cores as u16).to_be_bytes());
+        buf.extend_from_slice(&self.meta.seed.to_be_bytes());
+        buf.extend_from_slice(&self.meta.footprint_lines.to_be_bytes());
+        buf.extend_from_slice(&(self.accesses.len() as u64).to_be_bytes());
         for a in &self.accesses {
-            buf.put_u16(a.core.index() as u16);
-            buf.put_u64(a.line.raw());
-            let kind = match a.kind {
-                AccessKind::Read => 0u8,
-                AccessKind::Write => 1,
-                AccessKind::InstrFetch => 2,
-            };
-            let flags = kind | if a.dependent { 0x80 } else { 0 };
-            buf.put_u8(flags);
-            buf.put_u32(a.compute_gap);
+            put_access(&mut buf, a);
         }
-        buf.freeze()
+        Bytes::from(buf)
     }
 
     /// Decodes a trace previously produced by [`Trace::encode`].
@@ -269,24 +331,7 @@ impl Trace {
         let count = data.get_u64() as usize;
         let mut accesses = Vec::with_capacity(count);
         for _ in 0..count {
-            need(data, 2 + 8 + 1 + 4, "truncated access")?;
-            let core = CoreId::new(data.get_u16());
-            let line = LineAddr::new(data.get_u64());
-            let flags = data.get_u8();
-            let kind = match flags & 0x7f {
-                0 => AccessKind::Read,
-                1 => AccessKind::Write,
-                2 => AccessKind::InstrFetch,
-                tag => return Err(DecodeTraceError::InvalidAccessKind { tag }),
-            };
-            let compute_gap = data.get_u32();
-            accesses.push(MemAccess {
-                core,
-                line,
-                kind,
-                compute_gap,
-                dependent: flags & 0x80 != 0,
-            });
+            accesses.push(parse_access(&mut data)?);
         }
         Ok(Trace {
             meta: TraceMeta {

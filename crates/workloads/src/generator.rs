@@ -11,6 +11,7 @@ use crate::pool::{SharedStream, StreamPool};
 use crate::spec::WorkloadSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use stms_types::stream::{AccessChunk, TraceSource, TraceStreamError, DEFAULT_CHUNK_LEN};
 use stms_types::{AccessKind, CoreId, LineAddr, MemAccess, Trace, TraceMeta};
 
 /// Base of the region from which unique (never-reused) stream/noise lines are
@@ -54,6 +55,13 @@ enum Phase {
 
 /// Deterministic synthetic trace generator.
 ///
+/// The generator is a *resumable chunk iterator*: [`TraceGenerator::next_chunk`]
+/// produces the trace one bounded chunk at a time (and the generator
+/// implements [`stms_types::stream::TraceSource`], so it plugs straight into
+/// the streaming simulator), while [`TraceGenerator::generate`] remains the
+/// thin collect-everything convenience. Both paths emit the identical access
+/// sequence for a given spec.
+///
 /// # Example
 ///
 /// ```
@@ -63,10 +71,19 @@ enum Phase {
 /// let trace = TraceGenerator::new(&spec).generate();
 /// assert_eq!(trace.len(), 5_000);
 /// assert_eq!(trace.meta().workload, "Web Apache");
+///
+/// // The same trace, streamed chunk by chunk with bounded memory:
+/// let mut chunked = TraceGenerator::new(&spec).with_chunk_len(512);
+/// let mut seen = 0;
+/// while let Some(chunk) = chunked.next_chunk() {
+///     seen += chunk.len();
+/// }
+/// assert_eq!(seen, 5_000);
 /// ```
 #[derive(Debug)]
 pub struct TraceGenerator {
     spec: WorkloadSpec,
+    meta: TraceMeta,
     rng: StdRng,
     /// One pool if `shared_pool`, otherwise one pool per core.
     pools: Vec<StreamPool>,
@@ -74,6 +91,12 @@ pub struct TraceGenerator {
     phases: Vec<Phase>,
     fresh_counter: u64,
     scan_counter: u64,
+    /// Accesses emitted so far (resumption point of the chunk iterator).
+    emitted: u64,
+    /// Upper bound on accesses per [`TraceGenerator::next_chunk`] call.
+    chunk_len: usize,
+    /// Reused storage for the most recent chunk.
+    chunk_buf: Vec<MemAccess>,
 }
 
 impl TraceGenerator {
@@ -89,6 +112,12 @@ impl TraceGenerator {
         let pool_count = if spec.shared_pool { 1 } else { spec.cores };
         TraceGenerator {
             spec: spec.clone(),
+            meta: TraceMeta {
+                workload: spec.name.clone(),
+                cores: spec.cores,
+                seed: spec.seed,
+                footprint_lines: spec.approx_footprint_lines(),
+            },
             rng: StdRng::seed_from_u64(spec.seed),
             pools: (0..pool_count)
                 .map(|_| StreamPool::new(spec.max_pool_streams))
@@ -102,7 +131,23 @@ impl TraceGenerator {
             ],
             fresh_counter: 0,
             scan_counter: 0,
+            emitted: 0,
+            chunk_len: DEFAULT_CHUNK_LEN,
+            chunk_buf: Vec::new(),
         }
+    }
+
+    /// Returns the generator with a different chunk size for
+    /// [`TraceGenerator::next_chunk`] (chunking never changes the emitted
+    /// access sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk_len must be non-zero");
+        self.chunk_len = chunk_len;
+        self
     }
 
     /// Samples the length of a hot phase so that, averaged over many phases,
@@ -127,21 +172,35 @@ impl TraceGenerator {
         }
     }
 
-    /// Generates the trace with the spec's default length.
+    /// Generates the trace with the spec's default length — a thin collect
+    /// over [`TraceGenerator::next_chunk`].
     pub fn generate(mut self) -> Trace {
-        let accesses = self.spec.accesses;
-        let mut trace = Trace::new(TraceMeta {
-            workload: self.spec.name.clone(),
-            cores: self.spec.cores,
-            seed: self.spec.seed,
-            footprint_lines: self.spec.approx_footprint_lines(),
-        });
-        for i in 0..accesses {
-            let core = CoreId::new((i % self.spec.cores) as u16);
-            let access = self.next_access(core);
-            trace.push(access);
+        let mut trace = Trace::new(self.meta.clone());
+        while let Some(chunk) = self.next_chunk() {
+            trace.extend(chunk.iter().copied());
         }
         trace
+    }
+
+    /// Produces the next chunk of at most `chunk_len` accesses, or `None`
+    /// once the spec's access count has been emitted. The returned slice is
+    /// valid until the next call; chunk boundaries never affect the access
+    /// sequence.
+    pub fn next_chunk(&mut self) -> Option<&[MemAccess]> {
+        let total = self.spec.accesses as u64;
+        if self.emitted >= total {
+            return None;
+        }
+        let count = (total - self.emitted).min(self.chunk_len as u64) as usize;
+        self.chunk_buf.clear();
+        self.chunk_buf.reserve(count);
+        for _ in 0..count {
+            let core = CoreId::new((self.emitted % self.spec.cores as u64) as u16);
+            self.emitted += 1;
+            let access = self.next_access(core);
+            self.chunk_buf.push(access);
+        }
+        Some(&self.chunk_buf)
     }
 
     /// Allocates a fresh, never-before-used line at a scrambled address.
@@ -311,6 +370,29 @@ impl TraceGenerator {
             compute_gap: gap,
             dependent,
         }
+    }
+}
+
+// The generator is itself a streaming trace source, so the simulator can
+// replay a workload that is never materialized (out-of-core scale): the
+// resident state is one chunk plus the pool of retained temporal streams.
+impl TraceSource for TraceGenerator {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn total_accesses(&self) -> u64 {
+        self.spec.accesses as u64
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+        let first_index = self.emitted;
+        Ok(
+            TraceGenerator::next_chunk(self).map(|accesses| AccessChunk {
+                accesses,
+                first_index,
+            }),
+        )
     }
 }
 
@@ -487,5 +569,42 @@ mod tests {
         let mut spec = test_spec();
         spec.p_repeat = 2.0;
         let _ = TraceGenerator::new(&spec);
+    }
+
+    #[test]
+    fn chunked_generation_is_identical_to_collected_generation() {
+        let spec = test_spec().with_accesses(10_000);
+        let whole = generate(&spec);
+        for chunk_len in [1usize, 7, 1024, 10_000, 1 << 20] {
+            let mut gen = TraceGenerator::new(&spec).with_chunk_len(chunk_len);
+            let mut streamed = Vec::new();
+            let mut max_chunk = 0;
+            while let Some(chunk) = gen.next_chunk() {
+                max_chunk = max_chunk.max(chunk.len());
+                streamed.extend_from_slice(chunk);
+            }
+            assert_eq!(streamed, whole.accesses(), "chunk_len {chunk_len}");
+            assert!(max_chunk <= chunk_len);
+            assert!(gen.next_chunk().is_none(), "exhausted generators stay done");
+        }
+    }
+
+    #[test]
+    fn generator_is_a_trace_source_with_exact_totals() {
+        let spec = test_spec().with_accesses(5_000);
+        let mut gen = TraceGenerator::new(&spec).with_chunk_len(777);
+        assert_eq!(TraceSource::total_accesses(&gen), 5_000);
+        assert_eq!(TraceSource::meta(&gen).workload, "gen-test");
+        assert_eq!(TraceSource::meta(&gen).cores, 4);
+        let mut next_index = 0u64;
+        while let Some(chunk) = TraceSource::next_chunk(&mut gen).unwrap() {
+            assert_eq!(chunk.first_index, next_index);
+            next_index += chunk.accesses.len() as u64;
+        }
+        assert_eq!(next_index, 5_000);
+        let collected =
+            stms_types::stream::collect_trace(&mut TraceGenerator::new(&spec).with_chunk_len(777))
+                .expect("generator sources cannot fail");
+        assert_eq!(collected, generate(&spec));
     }
 }
