@@ -1,14 +1,17 @@
 //! Benchmarks of the streaming trace pipeline: streamed vs materialized
-//! replay, cold (generator-fused) and warm (chunk-framed disk tier), so the
-//! chunking overhead on the per-access hot path is tracked release over
-//! release alongside the other BENCH results.
+//! replay, cold (generator-fused) and warm (chunk-framed disk tier), plus
+//! the staged-pipeline matrix (serial vs depth-2 vs depth-8) on both, so
+//! the chunking overhead on the per-access hot path and the pipeline's
+//! overlap win are tracked release over release alongside the other BENCH
+//! results. Run with `STMS_BENCH_JSON=BENCH_streaming.json` to emit the
+//! committed perf artifact.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::path::PathBuf;
 use stms_bench::bench_workload;
 use stms_sim::campaign::{DiskTierConfig, TraceStore};
 use stms_sim::{run_source, run_trace, ExperimentConfig, PrefetcherKind};
-use stms_types::DEFAULT_CHUNK_LEN;
+use stms_types::{PipelineConfig, DEFAULT_CHUNK_LEN};
 use stms_workloads::{generate, TraceGenerator};
 
 const ACCESSES: usize = 30_000;
@@ -79,5 +82,56 @@ fn bench_streamed_replay(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_streamed_replay);
+/// The pipeline shapes the matrix sweeps: the serial baseline, minimum
+/// double buffering, and a deep window with parallel decode.
+fn pipeline_matrix() -> [(&'static str, PipelineConfig); 3] {
+    [
+        ("serial", PipelineConfig::serial()),
+        ("depth2", PipelineConfig::with_depth(2)),
+        (
+            "depth8",
+            PipelineConfig::with_depth(8).with_decode_threads(2),
+        ),
+    ]
+}
+
+fn bench_pipelined_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelined_replay");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick().with_accesses(ACCESSES);
+    let kind = PrefetcherKind::Baseline;
+    let spec = bench_workload().with_accesses(ACCESSES);
+    let replay = |store: &TraceStore| {
+        store.replay_streaming(&spec, ACCESSES, |source| {
+            run_source(&cfg, source, &kind).map(|result| result.cycles)
+        })
+    };
+
+    // Cold: every iteration regenerates and replays in one streamed pass,
+    // so the pipeline's win is generation overlapped with simulation.
+    for (name, config) in pipeline_matrix() {
+        let store = TraceStore::new().with_streaming(true).with_pipeline(config);
+        group.bench_function(format!("cold_generator/{name}"), |b| {
+            b.iter(|| black_box(replay(&store)))
+        });
+    }
+
+    // Warm: every iteration re-reads the same sealed chunk-framed file, so
+    // the win is read+checksum+decode overlapped with simulation.
+    let dir = bench_dir("pipe-warm");
+    for (name, config) in pipeline_matrix() {
+        let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .expect("create bench cache dir")
+            .with_streaming(true)
+            .with_pipeline(config);
+        replay(&store); // populate (first config) / open warm (the rest)
+        group.bench_function(format!("warm_disk/{name}"), |b| {
+            b.iter(|| black_box(replay(&store)))
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_streamed_replay, bench_pipelined_replay);
 criterion_main!(benches);

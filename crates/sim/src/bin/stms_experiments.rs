@@ -6,7 +6,7 @@
 //! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
 //!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
-//!                  [--stream-traces]
+//!                  [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
 //!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]
 //!                   | --retry-failed MANIFEST]
 //!                  [EXPERIMENT ...]
@@ -39,6 +39,14 @@
 //! cache each job streams its own generator. Stdout is byte-identical to
 //! the materialized path either way, and a `streamed replay:` line joins
 //! the stderr run summary.
+//!
+//! `--replay-pipeline DEPTH` (implies `--stream-traces`) runs each streamed
+//! replay through the staged prefetch→decode→simulate engine with `DEPTH`
+//! chunks in flight; `--decode-threads N` adds checksum/decode workers.
+//! All concurrent pipelines share one campaign-global in-flight byte budget,
+//! stdout stays byte-identical to the serial path, and a `pipelined replay:`
+//! line joins the stderr run summary. `DEPTH` must be at least 2 (depth 1
+//! could never overlap anything).
 //!
 //! # Distributed campaigns
 //!
@@ -82,7 +90,7 @@ use std::process::ExitCode;
 use stms_sim::campaign::{Campaign, CampaignCaches, ShardSpec};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
-use stms_stats::{CacheReport, RunSummary, StreamReport};
+use stms_stats::{CacheReport, PipelineReport, RunSummary, StreamReport};
 
 struct Options {
     cfg: ExperimentConfig,
@@ -108,7 +116,7 @@ fn usage() -> String {
         "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
          \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
-         \x20                       [--stream-traces]\n\
+         \x20                       [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
          \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]\n\
          \x20                        | --retry-failed MANIFEST]\n\
          \x20                       [EXPERIMENT ...]\n\
@@ -126,6 +134,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut warmup: Option<f64> = None;
     let mut accesses: Option<usize> = None;
     let mut caches = CampaignCaches::default();
+    let mut decode_threads: Option<usize> = None;
     let mut shard: Option<ShardSpec> = None;
     let mut shard_out: Option<PathBuf> = None;
     let mut merge_dirs: Vec<PathBuf> = Vec::new();
@@ -193,6 +202,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--cache-verify" => caches.verify = true,
             "--stream-traces" => caches.stream_traces = true,
+            "--replay-pipeline" => {
+                let v = value_of(&mut i, "--replay-pipeline")?;
+                let depth: usize = v
+                    .parse()
+                    .map_err(|_| format!("--replay-pipeline requires a depth, got `{v}`"))?;
+                if depth < 2 {
+                    return Err(format!(
+                        "--replay-pipeline depth must be at least 2 \
+                         (got {depth}); a depth-1 pipeline could never \
+                         overlap prefetch with simulation"
+                    ));
+                }
+                caches.pipeline_depth = depth;
+            }
+            "--decode-threads" => {
+                let v = value_of(&mut i, "--decode-threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--decode-threads requires a number, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--decode-threads must be non-zero".into());
+                }
+                decode_threads = Some(n);
+            }
             "--retry-failed" => {
                 retry_manifest = Some(value_of(&mut i, "--retry-failed")?.into());
             }
@@ -237,6 +270,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             .map_err(|e| e.to_string())?;
     }
     cfg.sim.validate().map_err(|e| e.to_string())?;
+
+    // Decode workers only exist inside a pipeline.
+    if let Some(n) = decode_threads {
+        if caches.pipeline_depth == 0 {
+            return Err("--decode-threads is only meaningful with --replay-pipeline DEPTH".into());
+        }
+        caches.decode_threads = n;
+    }
 
     // Sharding flags must form a coherent mode.
     let modes = [
@@ -305,6 +346,17 @@ fn push_cache_reports(summary: &mut RunSummary, campaign: &Campaign) {
             replays: trace.stream_replays,
             chunks: trace.stream_chunks,
             fallbacks: trace.stream_fallbacks,
+        });
+    }
+    let pipeline = campaign.store().pipeline_config();
+    if !pipeline.is_serial() {
+        summary.push_pipeline(PipelineReport {
+            depth: pipeline.depth as u64,
+            decode_threads: pipeline.decode_threads as u64,
+            chunks_prefetched: trace.pipeline_chunks,
+            stalls_full: trace.pipeline_stalls_full,
+            stalls_empty: trace.pipeline_stalls_empty,
+            peak_bytes_in_flight: trace.pipeline_peak_bytes,
         });
     }
     if campaign.store().disk_dir().is_some() {

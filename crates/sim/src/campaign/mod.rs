@@ -70,7 +70,7 @@ use std::ops::Range;
 use std::sync::Arc;
 use stms_mem::CmpSimulator;
 use stms_prefetch::MissTraceCollector;
-use stms_types::{Fingerprint, Fingerprintable, ShardManifest};
+use stms_types::{Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardManifest};
 use stms_workloads::WorkloadSpec;
 
 /// The render stage of a [`FigurePlan`]: folds the plan's job outputs
@@ -192,6 +192,16 @@ pub struct CampaignCaches {
     /// without a disk tier each job streams its own generator. Rendered
     /// output is byte-identical either way.
     pub stream_traces: bool,
+    /// Prefetch depth of the staged replay pipeline (`--replay-pipeline`):
+    /// `0` replays serially on the job thread; `>= 2` overlaps chunk
+    /// read/decode with simulation, keeping up to this many decoded chunks
+    /// in flight per job. Implies `stream_traces`. (Depth `1` is rejected
+    /// at the CLI; the library clamps it up to the double-buffered minimum,
+    /// [`stms_types::MIN_PIPELINE_DEPTH`].)
+    pub pipeline_depth: usize,
+    /// Decode workers per pipelined replay (`--decode-threads`); `0` means
+    /// one. Only meaningful with `pipeline_depth > 0`.
+    pub decode_threads: usize,
 }
 
 impl CampaignCaches {
@@ -205,6 +215,12 @@ impl CampaignCaches {
         }
     }
 }
+
+/// Campaign-global cap on decoded bytes buffered by all concurrently
+/// running replay pipelines. The budget is shared across the whole
+/// [`JobPool`] — not per job — so raising the worker count or pipeline
+/// depth cannot multiply peak replay memory past this bound.
+pub const PIPELINE_BUDGET_BYTES: u64 = 64 << 20;
 
 /// Combined cache counters of one campaign (see [`Campaign::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -269,7 +285,7 @@ impl Campaign {
         threads: usize,
         caches: CampaignCaches,
     ) -> std::io::Result<Self> {
-        let store = match &caches.trace_dir {
+        let mut store = match &caches.trace_dir {
             Some(dir) => {
                 let mut tier = DiskTierConfig::new(dir).with_verify(caches.verify);
                 tier.max_bytes = caches.trace_max_bytes;
@@ -277,7 +293,17 @@ impl Campaign {
             }
             None => TraceStore::new(),
         }
-        .with_streaming(caches.stream_traces);
+        .with_streaming(caches.stream_traces || caches.pipeline_depth > 0);
+        if caches.pipeline_depth > 0 {
+            store = store
+                .with_pipeline(
+                    PipelineConfig::with_depth(caches.pipeline_depth)
+                        .with_decode_threads(caches.decode_threads.max(1)),
+                )
+                // One budget for the whole pool: every job's pipeline draws
+                // from the same cap.
+                .with_pipeline_budget(Arc::new(InflightBudget::new(PIPELINE_BUDGET_BYTES)));
+        }
         let results = match &caches.result_dir {
             Some(dir) => Some(Arc::new(ResultStore::open(dir)?.with_verify(caches.verify))),
             None => None,

@@ -58,6 +58,9 @@ use std::io::{self, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use stms_types::stream::pipeline::{
+    ChunkPipeline, InflightBudget, PipelineConfig, PipelineInput, PipelineStats,
+};
 use stms_types::stream::{
     collect_trace, AccessChunk, ChunkedTraceWriter, TraceReader, TraceSource, TraceStreamError,
     DEFAULT_CHUNK_LEN,
@@ -104,6 +107,16 @@ pub struct TraceStoreStats {
     /// Streamed replay attempts abandoned because the backing file failed
     /// mid-stream (the file is evicted and the replay retried).
     pub stream_fallbacks: u64,
+    /// Chunks prefetched by the staged replay pipeline across all jobs
+    /// (zero when replays run serially).
+    pub pipeline_chunks: u64,
+    /// Times a pipeline's reader stage stalled on a full prefetch window or
+    /// an exhausted in-flight byte budget.
+    pub pipeline_stalls_full: u64,
+    /// Times a pipeline's consumer stalled waiting for the next chunk.
+    pub pipeline_stalls_empty: u64,
+    /// High-water mark of decoded bytes buffered by any single pipeline.
+    pub pipeline_peak_bytes: u64,
 }
 
 /// Configuration of the persistent tier of a [`TraceStore`].
@@ -177,6 +190,13 @@ pub struct TraceStore {
     /// cache directory); later streamed replays skip straight to the
     /// generator instead of regenerating into the void each time.
     failed_stream_writes: Mutex<HashSet<WorkloadSpec>>,
+    /// Shape of the staged replay pipeline wrapped around every streamed
+    /// replay. The default (serial) runs the synchronous path unchanged.
+    pipeline: PipelineConfig,
+    /// Campaign-global cap on decoded bytes buffered by all concurrently
+    /// running pipelines — shared across every job of the `JobPool`, not
+    /// per job.
+    pipeline_budget: Option<Arc<InflightBudget>>,
     hits: AtomicU64,
     misses: AtomicU64,
     generated: AtomicU64,
@@ -189,6 +209,27 @@ pub struct TraceStore {
     stream_replays: AtomicU64,
     stream_chunks: AtomicU64,
     stream_fallbacks: AtomicU64,
+    pipeline_chunks: AtomicU64,
+    pipeline_stalls_full: AtomicU64,
+    pipeline_stalls_empty: AtomicU64,
+    pipeline_peak_bytes: AtomicU64,
+}
+
+/// Saturating add on a stats counter. Every store counter goes through
+/// here: a counter that reaches `u64::MAX` pins there instead of wrapping
+/// to a small lie under concurrent updates near the limit.
+fn counter_add(counter: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
+}
+
+/// Monotonic-max update for gauge-style counters (peaks).
+fn counter_max(counter: &AtomicU64, n: u64) {
+    counter.fetch_max(n, Ordering::Relaxed);
 }
 
 /// File-name prefix of persisted traces (distinguishes them from result
@@ -295,6 +336,46 @@ impl TraceStore {
         self.streaming
     }
 
+    /// Returns the store with a staged replay pipeline of the given shape
+    /// wrapped around every streamed replay. The default (serial) config
+    /// runs the unchanged synchronous path; any non-zero depth prefetches
+    /// and decodes chunks ahead of the simulator on dedicated threads.
+    pub fn with_pipeline(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = config;
+        self
+    }
+
+    /// Shares a campaign-global in-flight byte budget across every pipeline
+    /// this store constructs (and, via clones of the `Arc`, across other
+    /// stores of the same campaign). Without one, each pipeline is bounded
+    /// only by its own depth.
+    pub fn with_pipeline_budget(mut self, budget: Arc<InflightBudget>) -> Self {
+        self.pipeline_budget = Some(budget);
+        self
+    }
+
+    /// The configured pipeline shape.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        self.pipeline
+    }
+
+    /// Wraps `input` in this store's pipeline shape and shared budget.
+    fn pipeline_for<'a>(&'a self, input: PipelineInput<'a>) -> ChunkPipeline<'a> {
+        let mut pipeline = ChunkPipeline::new(input, self.pipeline);
+        if let Some(budget) = &self.pipeline_budget {
+            pipeline = pipeline.with_budget(budget);
+        }
+        pipeline
+    }
+
+    /// Folds one pipeline run's counters into the store-level gauges.
+    fn note_pipeline(&self, stats: &PipelineStats) {
+        counter_add(&self.pipeline_chunks, stats.chunks_prefetched);
+        counter_add(&self.pipeline_stalls_full, stats.stalls_full);
+        counter_add(&self.pipeline_stalls_empty, stats.stalls_empty);
+        counter_max(&self.pipeline_peak_bytes, stats.peak_bytes_in_flight);
+    }
+
     /// Replays the trace for `spec` as a chunked stream, without ever
     /// materializing it: `run` receives a [`TraceSource`] and drives the
     /// simulation to completion.
@@ -334,11 +415,11 @@ impl TraceStore {
                 }
                 match self.stream_from_disk(disk, &key, fingerprint, &mut run) {
                     Ok(value) => {
-                        self.stream_replays.fetch_add(1, Ordering::Relaxed);
+                        counter_add(&self.stream_replays, 1);
                         return value;
                     }
                     Err(()) => {
-                        self.stream_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        counter_add(&self.stream_fallbacks, 1);
                         if round == 0 {
                             continue;
                         }
@@ -347,15 +428,22 @@ impl TraceStore {
             }
         }
         // No disk tier (or a disk that keeps failing): stream straight from
-        // the resumable generator.
-        self.generated.fetch_add(1, Ordering::Relaxed);
-        self.stream_replays.fetch_add(1, Ordering::Relaxed);
+        // the resumable generator. Under a pipeline, generation itself runs
+        // on the reader thread, overlapping with simulation.
+        counter_add(&self.generated, 1);
+        counter_add(&self.stream_replays, 1);
         let mut generator = TraceGenerator::new(&key);
-        let mut counted = CountingSource {
-            inner: &mut generator,
-            chunks: &self.stream_chunks,
-        };
-        run(&mut counted).expect("generator-backed trace sources cannot fail")
+        let (result, stats) = self
+            .pipeline_for(PipelineInput::Decoded(&mut generator))
+            .run(|source| {
+                let mut counted = CountingSource {
+                    inner: source,
+                    chunks: &self.stream_chunks,
+                };
+                run(&mut counted)
+            });
+        self.note_pipeline(&stats);
+        result.expect("generator-backed trace sources cannot fail")
     }
 
     /// Makes sure a sealed chunk-framed file exists for `key`, generating
@@ -384,12 +472,12 @@ impl TraceStore {
         if path.is_file() {
             return true;
         }
-        self.disk_misses.fetch_add(1, Ordering::Relaxed);
-        self.generated.fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.disk_misses, 1);
+        counter_add(&self.generated, 1);
         let mut generator = TraceGenerator::new(key);
         match write_chunked_file(&disk.dir, &path, fingerprint, &mut generator) {
             Ok(bytes) => {
-                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                counter_add(&self.disk_writes, 1);
                 self.enforce_budget(disk, &path, bytes);
                 true
             }
@@ -470,13 +558,22 @@ impl TraceStore {
             self.evict_stream_file(key, &path, opened.as_ref());
             return Err(());
         }
-        let mut counted = CountingSource {
-            inner: &mut reader,
-            chunks: &self.stream_chunks,
-        };
-        match run(&mut counted) {
+        // Under a pipeline, frame I/O runs on the reader thread and
+        // checksum/decode on the worker threads; serially, this is the
+        // unchanged synchronous read-verify-decode loop.
+        let (outcome, stats) =
+            self.pipeline_for(PipelineInput::Frames(&mut reader))
+                .run(|source| {
+                    let mut counted = CountingSource {
+                        inner: source,
+                        chunks: &self.stream_chunks,
+                    };
+                    run(&mut counted)
+                });
+        self.note_pipeline(&stats);
+        match outcome {
             Ok(value) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                counter_add(&self.disk_hits, 1);
                 Ok(value)
             }
             Err(_) => {
@@ -519,11 +616,11 @@ impl TraceStore {
             let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             match map.get(&key) {
                 Some(cell) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    counter_add(&self.hits, 1);
                     Arc::clone(cell)
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    counter_add(&self.misses, 1);
                     let cell = Arc::new(OnceLock::new());
                     map.insert(key.clone(), Arc::clone(&cell));
                     cell
@@ -537,16 +634,16 @@ impl TraceStore {
     /// Loads `key` from the disk tier or generates (and persists) it.
     fn resolve(&self, key: &WorkloadSpec) -> SharedTrace {
         let Some(disk) = &self.disk else {
-            self.generated.fetch_add(1, Ordering::Relaxed);
+            counter_add(&self.generated, 1);
             return generate(key).into_shared();
         };
         let fingerprint = key.fingerprint();
         if let Some(trace) = self.load_from_disk(disk, key, fingerprint) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            counter_add(&self.disk_hits, 1);
             return trace.into_shared();
         }
-        self.disk_misses.fetch_add(1, Ordering::Relaxed);
-        self.generated.fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.disk_misses, 1);
+        counter_add(&self.generated, 1);
         let trace = generate(key);
         self.persist(disk, &trace, fingerprint);
         trace.into_shared()
@@ -578,7 +675,7 @@ impl TraceStore {
     }
 
     fn evict_corrupt(&self, path: &Path) {
-        self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.disk_corrupt, 1);
         let _ = fs::remove_file(path);
     }
 
@@ -592,7 +689,7 @@ impl TraceStore {
         let Ok(bytes) = write_chunked_file(&disk.dir, &path, fingerprint, &mut source) else {
             return;
         };
-        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.disk_writes, 1);
         self.enforce_budget(disk, &path, bytes);
     }
 
@@ -604,7 +701,7 @@ impl TraceStore {
     /// per write.
     fn enforce_budget(&self, disk: &DiskTierConfig, just_written: &Path, written_bytes: u64) {
         let Some(budget) = disk.max_bytes else {
-            self.disk_bytes.fetch_add(written_bytes, Ordering::Relaxed);
+            counter_add(&self.disk_bytes, written_bytes);
             return;
         };
         let mut files = match list_trace_files(&disk.dir) {
@@ -618,7 +715,7 @@ impl TraceStore {
                 continue;
             }
             if fs::remove_file(&file.path).is_ok() {
-                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                counter_add(&self.disk_evictions, 1);
                 total -= file.bytes;
             }
         }
@@ -654,6 +751,10 @@ impl TraceStore {
             stream_replays: self.stream_replays.load(Ordering::Relaxed),
             stream_chunks: self.stream_chunks.load(Ordering::Relaxed),
             stream_fallbacks: self.stream_fallbacks.load(Ordering::Relaxed),
+            pipeline_chunks: self.pipeline_chunks.load(Ordering::Relaxed),
+            pipeline_stalls_full: self.pipeline_stalls_full.load(Ordering::Relaxed),
+            pipeline_stalls_empty: self.pipeline_stalls_empty.load(Ordering::Relaxed),
+            pipeline_peak_bytes: self.pipeline_peak_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -687,6 +788,10 @@ impl TraceStore {
             &self.stream_replays,
             &self.stream_chunks,
             &self.stream_fallbacks,
+            &self.pipeline_chunks,
+            &self.pipeline_stalls_full,
+            &self.pipeline_stalls_empty,
+            &self.pipeline_peak_bytes,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -745,7 +850,7 @@ impl<S: TraceSource + ?Sized> TraceSource for CountingSource<'_, S> {
         let chunks = self.chunks;
         let result = self.inner.next_chunk();
         if let Ok(Some(_)) = &result {
-            chunks.fetch_add(1, Ordering::Relaxed);
+            counter_add(chunks, 1);
         }
         result
     }
@@ -1164,5 +1269,169 @@ mod tests {
         // The most recent entry always survives its own write.
         assert!(trace_path(&dir, spec.clone().with_accesses(1_400).fingerprint()).is_file());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stat_counters_saturate_instead_of_wrapping() {
+        let store = TraceStore::new();
+        // A counter poised one below the limit must pin at the limit, not
+        // wrap to a small lie.
+        store.stream_chunks.store(u64::MAX - 1, Ordering::Relaxed);
+        counter_add(&store.stream_chunks, 5);
+        assert_eq!(store.stats().stream_chunks, u64::MAX);
+        counter_add(&store.stream_chunks, 1);
+        assert_eq!(store.stats().stream_chunks, u64::MAX);
+        // Zero-adds are free and never touch the cell.
+        counter_add(&store.hits, 0);
+        assert_eq!(store.stats().hits, 0);
+        // The high-water-mark combinator only ever moves up.
+        counter_max(&store.pipeline_peak_bytes, 100);
+        counter_max(&store.pipeline_peak_bytes, 40);
+        counter_max(&store.pipeline_peak_bytes, 120);
+        assert_eq!(store.stats().pipeline_peak_bytes, 120);
+    }
+
+    #[test]
+    fn concurrent_streamed_replays_count_chunks_exactly() {
+        // Regression: chunk counters were bumped with plain loads+stores in
+        // an early draft; racing replays must still sum exactly.
+        let store = TraceStore::new().with_streaming(true);
+        let spec = presets::web_apache();
+        // One warm-up replay tells us the per-replay chunk count.
+        store.replay_streaming(&spec, 2_000, drain);
+        let per_replay = store.stats().stream_chunks;
+        assert!(per_replay >= 1);
+
+        const THREADS: u64 = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| store.replay_streaming(&spec, 2_000, drain));
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.stream_chunks, per_replay * (THREADS + 1));
+        assert_eq!(stats.stream_replays, THREADS + 1);
+    }
+
+    /// The pipelined configurations the identity tests sweep: serial,
+    /// minimum depth single decoder, and deep multi-decoder.
+    fn pipeline_matrix() -> Vec<PipelineConfig> {
+        vec![
+            PipelineConfig::serial(),
+            PipelineConfig::with_depth(2),
+            PipelineConfig::with_depth(8).with_decode_threads(3),
+        ]
+    }
+
+    #[test]
+    fn pipelined_replay_is_bit_identical_to_serial() {
+        let dir = temp_dir("pipe-identity");
+        let spec = presets::oltp_db2();
+        let expect = generate(&spec.clone().with_accesses(3_000));
+
+        for config in pipeline_matrix() {
+            // Generator-backed (no disk tier) and disk-backed replays must
+            // both be byte-for-byte identical to the serial baseline.
+            let memory = TraceStore::new().with_streaming(true).with_pipeline(config);
+            assert_eq!(
+                memory.replay_streaming(&spec, 3_000, drain),
+                expect.accesses(),
+                "generator path, {config:?}"
+            );
+
+            let disk = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+                .unwrap()
+                .with_streaming(true)
+                .with_pipeline(config);
+            assert_eq!(
+                disk.replay_streaming(&spec, 3_000, drain),
+                expect.accesses(),
+                "cold disk path, {config:?}"
+            );
+            assert_eq!(
+                disk.replay_streaming(&spec, 3_000, drain),
+                expect.accesses(),
+                "warm disk path, {config:?}"
+            );
+            let stats = disk.stats();
+            if config.is_serial() {
+                assert_eq!(stats.pipeline_chunks, 0, "serial replays bypass stages");
+            } else {
+                assert!(stats.pipeline_chunks >= 1, "{config:?}: {stats:?}");
+                assert!(stats.pipeline_peak_bytes >= 1, "{config:?}: {stats:?}");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_corrupt_fallback_regenerates_exactly_once() {
+        let dir = temp_dir("pipe-corrupt");
+        let spec = presets::dss_qry17();
+        let expect = generate(&spec.clone().with_accesses(2_500));
+
+        let cold = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        cold.replay_streaming(&spec, 2_500, drain);
+        let path = trace_path(&dir, spec.clone().with_accesses(2_500).fingerprint());
+        let pristine = fs::read(&path).unwrap();
+
+        for config in pipeline_matrix() {
+            // Re-corrupt for each configuration: a payload byte deep in the
+            // stream, so the error surfaces mid-replay inside the pipeline.
+            let mut bytes = pristine.clone();
+            let at = bytes.len() - 100;
+            bytes[at] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+
+            let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+                .unwrap()
+                .with_streaming(true)
+                .with_pipeline(config);
+            assert_eq!(
+                store.replay_streaming(&spec, 2_500, drain),
+                expect.accesses(),
+                "{config:?}"
+            );
+            let stats = store.stats();
+            assert_eq!(
+                stats.generated, 1,
+                "{config:?}: regenerated once, not per retry"
+            );
+            assert_eq!(
+                stats.disk_corrupt, 1,
+                "{config:?}: the bad file was evicted"
+            );
+            assert!(stats.stream_fallbacks >= 1, "{config:?}: {stats:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_budget_spans_concurrent_pipelined_replays() {
+        // One campaign-global byte budget across many jobs: replays stay
+        // correct (the at-least-one admission rule prevents starvation) even
+        // when the cap is far below one chunk's decoded size.
+        let budget = Arc::new(InflightBudget::new(512));
+        let store = TraceStore::new()
+            .with_streaming(true)
+            .with_pipeline(PipelineConfig::with_depth(4).with_decode_threads(2))
+            .with_pipeline_budget(Arc::clone(&budget));
+        let spec = presets::web_apache();
+        let expect = generate(&spec.clone().with_accesses(2_000));
+
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    assert_eq!(
+                        store.replay_streaming(&spec, 2_000, drain),
+                        expect.accesses()
+                    );
+                });
+            }
+        });
+        assert_eq!(store.stats().stream_replays, 3);
+        assert_eq!(budget.in_use(), 0, "all in-flight bytes were released");
     }
 }

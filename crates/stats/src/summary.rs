@@ -152,12 +152,52 @@ impl StreamReport {
     }
 }
 
-/// An ordered collection of [`ShardReport`]s, [`StreamReport`]s and
-/// [`CacheReport`]s rendered as one block.
+/// Counters of the staged replay pipeline (`--replay-pipeline`): how far
+/// the prefetching reader ran ahead, where the stages stalled, and the
+/// high-water mark of decoded bytes buffered between them. Stalls are the
+/// diagnostic payload: full stalls mean the consumer is the bottleneck,
+/// empty stalls mean the disk/decode side is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineReport {
+    /// Configured prefetch depth (chunks the reader may run ahead).
+    pub depth: u64,
+    /// Configured checksum/decode worker count.
+    pub decode_threads: u64,
+    /// Chunks the reader stages lifted off their sources.
+    pub chunks_prefetched: u64,
+    /// Times a reader stalled because every prefetch slot was full or the
+    /// shared in-flight byte budget was exhausted.
+    pub stalls_full: u64,
+    /// Times a consumer stalled waiting for the next in-order chunk.
+    pub stalls_empty: u64,
+    /// High-water mark of decoded bytes in flight across the pipelines.
+    pub peak_bytes_in_flight: u64,
+}
+
+impl PipelineReport {
+    /// One summary line, e.g.
+    /// `pipelined replay: depth 4, 2 decode threads, 128 chunks prefetched, 3 full stalls, 17 empty stalls, peak 2097152 bytes in flight`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "pipelined replay: depth {}, {} decode threads, {} chunks prefetched, \
+             {} full stalls, {} empty stalls, peak {} bytes in flight",
+            self.depth,
+            self.decode_threads,
+            self.chunks_prefetched,
+            self.stalls_full,
+            self.stalls_empty,
+            self.peak_bytes_in_flight
+        )
+    }
+}
+
+/// An ordered collection of [`ShardReport`]s, [`StreamReport`]s,
+/// [`PipelineReport`]s and [`CacheReport`]s rendered as one block.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
     shards: Vec<ShardReport>,
     streams: Vec<StreamReport>,
+    pipelines: Vec<PipelineReport>,
     reports: Vec<CacheReport>,
 }
 
@@ -183,9 +223,18 @@ impl RunSummary {
         self.streams.push(report);
     }
 
+    /// Appends the pipelined-replay report (rendered after the stream
+    /// lines, before the cache tiers).
+    pub fn push_pipeline(&mut self, report: PipelineReport) {
+        self.pipelines.push(report);
+    }
+
     /// Whether any report was added.
     pub fn is_empty(&self) -> bool {
-        self.reports.is_empty() && self.shards.is_empty() && self.streams.is_empty()
+        self.reports.is_empty()
+            && self.shards.is_empty()
+            && self.streams.is_empty()
+            && self.pipelines.is_empty()
     }
 
     /// The rendered block: a `run summary:` header plus one indented line
@@ -204,6 +253,11 @@ impl RunSummary {
         for stream in &self.streams {
             out.push_str("  ");
             out.push_str(&stream.render_line());
+            out.push('\n');
+        }
+        for pipeline in &self.pipelines {
+            out.push_str("  ");
+            out.push_str(&pipeline.render_line());
             out.push('\n');
         }
         for report in &self.reports {
@@ -314,6 +368,36 @@ mod tests {
         assert!(only_stream.is_empty());
         only_stream.push_stream(StreamReport::default());
         assert!(!only_stream.is_empty());
+    }
+
+    #[test]
+    fn pipeline_report_renders_after_streams_before_caches() {
+        let report = PipelineReport {
+            depth: 4,
+            decode_threads: 2,
+            chunks_prefetched: 128,
+            stalls_full: 3,
+            stalls_empty: 17,
+            peak_bytes_in_flight: 2_097_152,
+        };
+        assert_eq!(
+            report.render_line(),
+            "pipelined replay: depth 4, 2 decode threads, 128 chunks prefetched, \
+             3 full stalls, 17 empty stalls, peak 2097152 bytes in flight"
+        );
+        let mut summary = RunSummary::new();
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_pipeline(report);
+        summary.push_stream(StreamReport::default());
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert!(lines[1].starts_with("  streamed replay:"), "{}", lines[1]);
+        assert!(lines[2].starts_with("  pipelined replay:"), "{}", lines[2]);
+        assert!(lines[3].starts_with("  traces:"), "{}", lines[3]);
+
+        let mut only_pipeline = RunSummary::new();
+        assert!(only_pipeline.is_empty());
+        only_pipeline.push_pipeline(PipelineReport::default());
+        assert!(!only_pipeline.is_empty());
     }
 
     #[test]

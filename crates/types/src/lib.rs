@@ -35,9 +35,12 @@ pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
 pub use fingerprint::{Fingerprint, Fingerprintable, Fingerprinter};
 pub use ids::CoreId;
 pub use manifest::{ManifestError, ShardManifest, MANIFEST_CODEC_VERSION};
+pub use stream::pipeline::{
+    ChunkPipeline, InflightBudget, PipelineConfig, PipelineInput, PipelineStats, MIN_PIPELINE_DEPTH,
+};
 pub use stream::{
-    AccessChunk, ChunkedTraceWriter, TraceChunks, TraceReader, TraceSource, TraceStreamError,
-    DEFAULT_CHUNK_LEN, TRACE_CHUNKED_CODEC_VERSION,
+    AccessChunk, ChunkedTraceWriter, RawChunk, RawFrameSource, TraceChunks, TraceReader,
+    TraceSource, TraceStreamError, DEFAULT_CHUNK_LEN, TRACE_CHUNKED_CODEC_VERSION,
 };
 pub use time::Cycle;
 pub use trace::{SharedTrace, Trace, TraceMeta, TRACE_CODEC_VERSION};

@@ -19,7 +19,19 @@
 //!   decoder of that format. The writer computes the envelope's payload
 //!   length up front (records are fixed width) and folds the whole-payload
 //!   checksum incrementally while chunks flow through, so sealing never
-//!   materializes the encoded trace either.
+//!   materializes the encoded trace either;
+//! * the [`pipeline`] submodule — a staged prefetch→decode engine
+//!   ([`pipeline::ChunkPipeline`]) that overlaps reading, checksum/decode
+//!   work and simulation across threads while preserving the exact chunk
+//!   order and error behaviour of the synchronous path.
+//!
+//! The reader itself is split into two stages so the pipeline can
+//! parallelize them: [`TraceReader::next_raw`] performs the I/O (frame
+//! header, record bytes, whole-payload checksum folding) and returns an
+//! owned [`RawChunk`]; [`RawChunk::decode_into`] verifies the frame
+//! checksum and parses the records. The synchronous
+//! [`TraceSource::next_chunk`] path is exactly `next_raw` + `decode_into`
+//! on one thread — the depth-0 special case of the pipeline.
 //!
 //! The classic whole-trace codec ([`Trace::encode`], codec version
 //! [`crate::trace::TRACE_CODEC_VERSION`]) remains the single-chunk special
@@ -49,6 +61,8 @@ use crate::trace::{parse_access, put_access, DecodeTraceError, ACCESS_RECORD_BYT
 use crate::{MemAccess, Trace, TraceMeta};
 use std::fmt;
 use std::io::{self, Read, Write};
+
+pub mod pipeline;
 
 /// Version of the chunk-framed trace payload codec, stamped into the sealed
 /// [`crate::blob`] envelope. Distinct from
@@ -446,6 +460,88 @@ fn payload_checksum(fp: &Fingerprinter) -> u64 {
     blob::checksum_finish(fp)
 }
 
+/// One undecoded chunk frame lifted off a chunk-framed stream: the record
+/// bytes plus the frame checksum the writer recorded for them.
+///
+/// Produced by [`TraceReader::next_raw`] (stage one: I/O). Verification and
+/// parsing happen in [`RawChunk::decode_into`] (stage two: CPU), which is
+/// what lets the [`pipeline`] run several decode workers in parallel while
+/// a single reader thread owns the file handle. A `RawChunk` is fully
+/// owned, so it can cross threads freely.
+#[derive(Debug, Clone)]
+pub struct RawChunk {
+    first_index: u64,
+    chunk_index: u64,
+    checksum: u64,
+    records: Vec<u8>,
+}
+
+impl RawChunk {
+    /// Number of access records in this frame.
+    pub fn len(&self) -> usize {
+        self.records.len() / ACCESS_RECORD_BYTES
+    }
+
+    /// Whether the frame carries no records (never produced by a
+    /// well-formed stream, but the type does not forbid it).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Index (within the whole trace) of the first access of the frame.
+    pub fn first_index(&self) -> u64 {
+        self.first_index
+    }
+
+    /// Size of the undecoded record bytes held by this frame.
+    pub fn byte_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Verifies the frame checksum and parses the records into `out`
+    /// (cleared first) — stage two of the reader, safe to run on any
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeTraceError::ChunkChecksumMismatch`] when the record bytes do
+    /// not match the recorded frame checksum, or a record-level decode
+    /// error for malformed records.
+    pub fn decode_into(&self, out: &mut Vec<MemAccess>) -> Result<(), TraceStreamError> {
+        let mut fp = Fingerprinter::new();
+        fp.write_bytes(&self.records);
+        if chunk_checksum(&fp) != self.checksum {
+            return Err(DecodeTraceError::ChunkChecksumMismatch {
+                chunk: self.chunk_index,
+            }
+            .into());
+        }
+        out.clear();
+        out.reserve(self.len());
+        let mut records: &[u8] = &self.records;
+        for _ in 0..self.len() {
+            out.push(parse_access(&mut records)?);
+        }
+        Ok(())
+    }
+}
+
+/// A [`TraceSource`] that can additionally hand out *undecoded* frames, so
+/// a pipeline can move the checksum/parse work onto worker threads.
+/// Implemented by [`TraceReader`]; in-memory and generator sources have no
+/// raw form (their chunks are born decoded).
+pub trait RawFrameSource: TraceSource {
+    /// The next raw frame, or `Ok(None)` once the stream is exhausted (the
+    /// trailing whole-payload checksum is verified before `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceStreamError`] exactly like [`TraceSource::next_chunk`],
+    /// except per-frame checksum mismatches, which surface later from
+    /// [`RawChunk::decode_into`].
+    fn next_raw(&mut self) -> Result<Option<RawChunk>, TraceStreamError>;
+}
+
 /// Streaming decoder of the chunk-framed codec: verifies the envelope
 /// header eagerly, then hands out one verified chunk at a time. Memory use
 /// is one chunk, regardless of trace length.
@@ -467,6 +563,11 @@ pub struct TraceReader<R: Read> {
     accesses: Vec<MemAccess>,
     byte_buf: Vec<u8>,
     finished: bool,
+    /// First error returned, if any. A failed reader is poisoned: the
+    /// stream position is indeterminate after an error, so every later
+    /// call returns the same error instead of misreading frames —
+    /// matching the sticky-error contract of the pipelined path.
+    failed: Option<TraceStreamError>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -504,6 +605,7 @@ impl<R: Read> TraceReader<R> {
             accesses: Vec::new(),
             byte_buf: Vec::new(),
             finished: false,
+            failed: None,
         };
         reader.read_trace_header()?;
         // Untrusted header fields: reject framings a well-formed writer can
@@ -590,7 +692,25 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
-    fn read_one_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+    /// Stage one of the reader: reads the next frame's header and record
+    /// bytes into `records` (reused if large enough), folding them into the
+    /// whole-payload checksum, without verifying the frame checksum or
+    /// parsing a single record.
+    fn next_raw_into(&mut self, records: Vec<u8>) -> Result<Option<RawChunk>, TraceStreamError> {
+        if let Some(err) = &self.failed {
+            return Err(err.clone());
+        }
+        let result = self.next_raw_inner(records);
+        if let Err(err) = &result {
+            self.failed = Some(err.clone());
+        }
+        result
+    }
+
+    fn next_raw_inner(
+        &mut self,
+        mut records: Vec<u8>,
+    ) -> Result<Option<RawChunk>, TraceStreamError> {
         if self.finished {
             return Ok(None);
         }
@@ -610,34 +730,45 @@ impl<R: Read> TraceReader<R> {
             }
             .into());
         }
-        self.byte_buf.clear();
-        self.byte_buf
-            .resize(count as usize * ACCESS_RECORD_BYTES, 0);
-        let mut body = std::mem::take(&mut self.byte_buf);
-        let read = self.read_payload(&mut body, "chunk records");
-        self.byte_buf = body;
-        read?;
-        let mut fp = Fingerprinter::new();
-        fp.write_bytes(&self.byte_buf);
-        if chunk_checksum(&fp) != recorded {
-            return Err(DecodeTraceError::ChunkChecksumMismatch {
-                chunk: self.chunk_index,
-            }
-            .into());
-        }
-        self.accesses.clear();
-        self.accesses.reserve(count as usize);
-        let mut records: &[u8] = &self.byte_buf;
-        for _ in 0..count {
-            self.accesses.push(parse_access(&mut records)?);
-        }
-        let first_index = self.read_accesses;
+        records.clear();
+        records.resize(count as usize * ACCESS_RECORD_BYTES, 0);
+        self.read_payload(&mut records, "chunk records")?;
+        let raw = RawChunk {
+            first_index: self.read_accesses,
+            chunk_index: self.chunk_index,
+            checksum: recorded,
+            records,
+        };
         self.read_accesses += count;
         self.chunk_index += 1;
+        Ok(Some(raw))
+    }
+
+    /// Stage one + stage two on the calling thread — the synchronous path,
+    /// and byte-for-byte the depth-0 special case of the pipeline.
+    fn read_one_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+        let buf = std::mem::take(&mut self.byte_buf);
+        let raw = match self.next_raw_into(buf)? {
+            None => return Ok(None),
+            Some(raw) => raw,
+        };
+        let decoded = raw.decode_into(&mut self.accesses);
+        let first_index = raw.first_index;
+        self.byte_buf = raw.records;
+        if let Err(err) = decoded {
+            self.failed = Some(err.clone());
+            return Err(err);
+        }
         Ok(Some(AccessChunk {
             accesses: &self.accesses,
             first_index,
         }))
+    }
+}
+
+impl<R: Read> RawFrameSource for TraceReader<R> {
+    fn next_raw(&mut self) -> Result<Option<RawChunk>, TraceStreamError> {
+        self.next_raw_into(Vec::new())
     }
 }
 

@@ -1,0 +1,1227 @@
+//! Staged prefetch→decode→simulate replay pipeline.
+//!
+//! The synchronous replay path reads, checksums, decodes and simulates
+//! every chunk on one thread, so disk latency and decode cost serialize
+//! with simulation. [`ChunkPipeline`] breaks that serialization into the
+//! classic bounded-buffer shape:
+//!
+//! ```text
+//!             ┌────────────┐   raw frames    ┌──────────────┐
+//!  disk ────▶ │  reader    │ ──────────────▶ │ decode worker│──┐
+//!  (or gen)   │  (1 thread)│   work queue    │   × N        │  │ ordered
+//!             └────────────┘                 └──────────────┘  │ chunks
+//!                   │ depth slots + global byte budget         ▼
+//!                   │                              ┌──────────────────┐
+//!                   └────── decoded chunks ──────▶ │ reorder → source │──▶ simulator
+//!                          (sources without a      └──────────────────┘
+//!                           raw form skip the workers)
+//! ```
+//!
+//! * The **reader stage** owns the underlying [`TraceSource`] and
+//!   prefetches up to `depth` chunks ahead of the consumer ([`MIN_PIPELINE_DEPTH`]
+//!   = double buffering at minimum). Depth 0 means *no threads at all*:
+//!   the consumer is handed the source directly, which is the existing
+//!   synchronous path — not a reimplementation of it.
+//! * **Decode workers** (for [`RawFrameSource`] inputs, i.e. disk streams)
+//!   verify frame checksums and parse records in parallel; a reorder
+//!   buffer delivers chunks strictly in trace order, so consumers see the
+//!   exact sequence the synchronous path yields.
+//! * **Errors travel in-band**: a mid-stream failure (corrupt frame,
+//!   truncated file, even a panic in a stage) is delivered *at its
+//!   position* after every preceding good chunk, as the same
+//!   [`TraceStreamError`] the synchronous reader would return — so the
+//!   evict/regenerate/fallback logic layered on top keeps firing
+//!   unchanged.
+//! * An optional [`InflightBudget`] caps the total bytes of decoded chunks
+//!   in flight across *all* pipelines sharing it (a campaign-global cap,
+//!   not per-job). The budget always admits a pipeline holding nothing —
+//!   see the invariant on [`InflightBudget`] — so progress is guaranteed
+//!   no matter how small the budget or how many pipelines share it.
+//!
+//! Shutdown is unconditional: dropping the consumer-side source (early
+//! exit, simulator error, panic) cancels the stages, wakes every blocked
+//! thread, and the scope join reclaims them — no detached threads, no
+//! deadlock.
+
+use super::{AccessChunk, RawChunk, RawFrameSource, TraceSource, TraceStreamError};
+use crate::{MemAccess, TraceMeta};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Smallest useful pipeline depth: one chunk being consumed while the next
+/// is prefetched (double buffering). [`PipelineConfig::with_depth`] clamps
+/// non-zero depths up to this.
+pub const MIN_PIPELINE_DEPTH: usize = 2;
+
+/// How a replay pipeline is shaped. `depth == 0` is the synchronous path
+/// (no threads); any other depth runs the staged engine with that many
+/// prefetch slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of chunks the reader stage may run ahead of the consumer.
+    /// Zero disables the pipeline entirely.
+    pub depth: usize,
+    /// Number of checksum/decode workers (only effective for raw-frame
+    /// inputs; decoded inputs have nothing to decode). At least 1.
+    pub decode_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::serial()
+    }
+}
+
+impl PipelineConfig {
+    /// The synchronous configuration: no threads, no buffering.
+    pub fn serial() -> Self {
+        PipelineConfig {
+            depth: 0,
+            decode_threads: 1,
+        }
+    }
+
+    /// A pipelined configuration of the given depth. Zero stays serial;
+    /// non-zero depths are clamped up to [`MIN_PIPELINE_DEPTH`] (a depth-1
+    /// "pipeline" could never overlap anything).
+    pub fn with_depth(depth: usize) -> Self {
+        let depth = if depth == 0 {
+            0
+        } else {
+            depth.max(MIN_PIPELINE_DEPTH)
+        };
+        PipelineConfig {
+            depth,
+            decode_threads: 1,
+        }
+    }
+
+    /// Sets the number of decode workers (clamped to at least 1).
+    pub fn with_decode_threads(mut self, threads: usize) -> Self {
+        self.decode_threads = threads.max(1);
+        self
+    }
+
+    /// Whether this configuration bypasses the staged engine.
+    pub fn is_serial(&self) -> bool {
+        self.depth == 0
+    }
+}
+
+/// Counters describing one pipeline run, for the run summary's
+/// `PipelineReport`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Chunks the reader stage lifted off the source.
+    pub chunks_prefetched: u64,
+    /// Times the reader stage blocked because every prefetch slot was full
+    /// or the shared byte budget was exhausted.
+    pub stalls_full: u64,
+    /// Times the consumer blocked waiting for the next in-order chunk.
+    pub stalls_empty: u64,
+    /// High-water mark of decoded bytes buffered by this pipeline.
+    pub peak_bytes_in_flight: u64,
+}
+
+impl PipelineStats {
+    /// Folds another run's counters into this one (peak = max of peaks).
+    pub fn absorb(&mut self, other: &PipelineStats) {
+        self.chunks_prefetched = self
+            .chunks_prefetched
+            .saturating_add(other.chunks_prefetched);
+        self.stalls_full = self.stalls_full.saturating_add(other.stalls_full);
+        self.stalls_empty = self.stalls_empty.saturating_add(other.stalls_empty);
+        self.peak_bytes_in_flight = self.peak_bytes_in_flight.max(other.peak_bytes_in_flight);
+    }
+}
+
+/// A shared cap on the total decoded bytes buffered by every pipeline that
+/// carries a reference to it — the campaign-global scheduler's tool for
+/// keeping N concurrent replays from multiplying N × depth × chunk bytes
+/// of memory.
+///
+/// # Invariant (progress)
+///
+/// A pipeline that currently holds **zero** in-flight bytes is always
+/// admitted, even when the budget is exhausted — so every pipeline can
+/// keep at least one chunk moving and no budget setting can deadlock the
+/// fleet. The cap is therefore soft by up to one chunk per pipeline, which
+/// is the classic bounded-buffer progress rule.
+#[derive(Debug)]
+pub struct InflightBudget {
+    max_bytes: u64,
+    used: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl InflightBudget {
+    /// A budget capping shared in-flight bytes at `max_bytes` (at least 1).
+    pub fn new(max_bytes: u64) -> Self {
+        InflightBudget {
+            max_bytes: max_bytes.max(1),
+            used: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// A budget that never blocks anyone.
+    pub fn unlimited() -> Self {
+        InflightBudget::new(u64::MAX)
+    }
+
+    /// The configured cap.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Bytes currently admitted across all sharing pipelines.
+    pub fn in_use(&self) -> u64 {
+        *self.used.lock().expect("budget lock")
+    }
+
+    /// Blocks until `bytes` fit under the cap (or the holder qualifies for
+    /// the at-least-one rule). Returns `Some(stalled)` once admitted, or
+    /// `None` if `cancel` was raised while waiting.
+    fn acquire(&self, bytes: u64, held: &AtomicU64, cancel: &AtomicBool) -> Option<bool> {
+        let mut used = self.used.lock().expect("budget lock");
+        let mut stalled = false;
+        loop {
+            if cancel.load(Ordering::Acquire) {
+                return None;
+            }
+            let admit =
+                held.load(Ordering::Acquire) == 0 || used.saturating_add(bytes) <= self.max_bytes;
+            if admit {
+                *used = used.saturating_add(bytes);
+                held.fetch_add(bytes, Ordering::AcqRel);
+                return Some(stalled);
+            }
+            stalled = true;
+            // Timed wait as lost-wakeup insurance; correctness only needs
+            // the re-check.
+            let (guard, _) = self
+                .freed
+                .wait_timeout(used, Duration::from_millis(50))
+                .expect("budget lock");
+            used = guard;
+        }
+    }
+
+    /// Returns `bytes` to the budget and wakes waiters.
+    fn release(&self, bytes: u64, held: &AtomicU64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut used = self.used.lock().expect("budget lock");
+        *used = used.saturating_sub(bytes);
+        let _ = held.fetch_update(Ordering::AcqRel, Ordering::Acquire, |h| {
+            Some(h.saturating_sub(bytes))
+        });
+        drop(used);
+        self.freed.notify_all();
+    }
+
+    /// Wakes every waiter so it can observe a raised cancel flag. Locking
+    /// first makes the wakeup reliable against the check-then-wait window.
+    fn wake_all(&self) {
+        drop(self.used.lock().expect("budget lock"));
+        self.freed.notify_all();
+    }
+}
+
+/// What flows into a pipeline: chunks that are born decoded (generators,
+/// in-memory traces) or raw frames a disk reader lifts off a sealed file.
+pub enum PipelineInput<'a> {
+    /// The source yields decoded chunks; the reader stage copies them into
+    /// owned buffers and no decode workers run.
+    Decoded(&'a mut (dyn TraceSource + Send)),
+    /// The source yields raw frames; decode workers verify and parse them
+    /// in parallel.
+    Frames(&'a mut (dyn RawFrameSource + Send)),
+}
+
+impl std::fmt::Debug for PipelineInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            PipelineInput::Decoded(_) => "Decoded",
+            PipelineInput::Frames(_) => "Frames",
+        };
+        f.debug_struct("PipelineInput")
+            .field("kind", &kind)
+            .field("workload", &self.meta().workload)
+            .finish()
+    }
+}
+
+impl PipelineInput<'_> {
+    fn meta(&self) -> &TraceMeta {
+        match self {
+            PipelineInput::Decoded(src) => src.meta(),
+            PipelineInput::Frames(src) => src.meta(),
+        }
+    }
+
+    fn total_accesses(&self) -> u64 {
+        match self {
+            PipelineInput::Decoded(src) => src.total_accesses(),
+            PipelineInput::Frames(src) => src.total_accesses(),
+        }
+    }
+}
+
+/// The staged prefetch→decode engine over any [`TraceSource`].
+///
+/// Construct one per replay, then call [`ChunkPipeline::run`] with the
+/// consumer. The consumer receives a `&mut dyn TraceSource` that yields
+/// the same chunks, in the same order, with the same errors, as the
+/// wrapped source — the only observable difference is that reading and
+/// decoding happen ahead of it on other threads.
+///
+/// # Example
+///
+/// ```
+/// use stms_types::stream::pipeline::{ChunkPipeline, PipelineConfig, PipelineInput};
+/// use stms_types::{stream, CoreId, LineAddr, MemAccess, Trace, TraceMeta};
+///
+/// let mut trace = Trace::new(TraceMeta { workload: "demo".into(), cores: 1, ..Default::default() });
+/// for i in 0..1000u64 {
+///     trace.push(MemAccess::read(CoreId::new(0), LineAddr::new(i)));
+/// }
+/// let mut chunks = trace.chunks(128);
+/// let pipeline = ChunkPipeline::new(PipelineInput::Decoded(&mut chunks), PipelineConfig::with_depth(4));
+/// let (copy, stats) = pipeline.run(|source| stream::collect_trace(source));
+/// assert_eq!(copy.unwrap(), trace);
+/// assert_eq!(stats.chunks_prefetched, 8);
+/// ```
+#[derive(Debug)]
+pub struct ChunkPipeline<'a> {
+    input: PipelineInput<'a>,
+    config: PipelineConfig,
+    budget: Option<&'a InflightBudget>,
+}
+
+impl<'a> ChunkPipeline<'a> {
+    /// Wraps `input` in a pipeline of the given shape.
+    pub fn new(input: PipelineInput<'a>, config: PipelineConfig) -> Self {
+        ChunkPipeline {
+            input,
+            config,
+            budget: None,
+        }
+    }
+
+    /// Shares an in-flight byte budget with other pipelines (the
+    /// campaign-global cap).
+    pub fn with_budget(mut self, budget: &'a InflightBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Runs `consume` against the pipelined view of the source and returns
+    /// its result plus the pipeline's counters.
+    ///
+    /// With a serial config this calls `consume` directly on the wrapped
+    /// source — the depth-0 special case *is* the synchronous path. The
+    /// stage threads are scoped: by the time `run` returns they have all
+    /// been joined, even if `consume` exits early or panics.
+    pub fn run<T>(self, consume: impl FnOnce(&mut dyn TraceSource) -> T) -> (T, PipelineStats) {
+        if self.config.is_serial() {
+            let out = match self.input {
+                PipelineInput::Decoded(src) => consume(src),
+                PipelineInput::Frames(src) => consume(src as &mut dyn TraceSource),
+            };
+            return (out, PipelineStats::default());
+        }
+        let meta = self.input.meta().clone();
+        let total = self.input.total_accesses();
+        let depth = self.config.depth.max(MIN_PIPELINE_DEPTH);
+        let workers = match self.input {
+            // Decoded chunks have nothing to verify or parse.
+            PipelineInput::Decoded(_) => 0,
+            PipelineInput::Frames(_) => self.config.decode_threads.max(1),
+        };
+        let shared = PipeShared::new(depth);
+        let budget = self.budget;
+        let input = self.input;
+        let out = std::thread::scope(|scope| {
+            scope.spawn(|| reader_stage(input, &shared, budget));
+            for _ in 0..workers {
+                scope.spawn(|| worker_stage(&shared));
+            }
+            let mut source = PipedSource {
+                shared: &shared,
+                budget,
+                meta,
+                total,
+                current: Vec::new(),
+                current_first: 0,
+                current_cost: None,
+                failed: None,
+                finished: false,
+            };
+            consume(&mut source)
+            // `source` drops here: cancels the stages and wakes every
+            // blocked thread, so the scope's implicit joins cannot hang.
+        });
+        // Stages are joined; return whatever the consumer never popped.
+        if let Some(budget) = budget {
+            let residual = shared.held_bytes.swap(0, Ordering::AcqRel);
+            if residual > 0 {
+                let mut used = budget.used.lock().expect("budget lock");
+                *used = used.saturating_sub(residual);
+                drop(used);
+                budget.freed.notify_all();
+            }
+        }
+        let stats = shared.stats();
+        (out, stats)
+    }
+}
+
+/// Approximate decoded footprint of a chunk, the unit the slot bytes and
+/// the shared budget are accounted in. At least 1 so progress accounting
+/// never divides into nothing.
+fn chunk_cost(accesses: usize) -> u64 {
+    (accesses * std::mem::size_of::<MemAccess>()).max(1) as u64
+}
+
+fn panic_error(stage: &str) -> TraceStreamError {
+    TraceStreamError::Io {
+        error: format!("panic in pipeline {stage} stage"),
+    }
+}
+
+/// A decoded chunk owned by the pipeline, en route to the consumer.
+#[derive(Debug)]
+struct OwnedChunk {
+    first_index: u64,
+    accesses: Vec<MemAccess>,
+}
+
+/// What the reorder buffer delivers for one sequence number.
+#[derive(Debug)]
+enum StageItem {
+    Chunk(OwnedChunk),
+    Err(TraceStreamError),
+}
+
+/// A delivered item plus the slot bytes it holds (released by the
+/// consumer, chunk and error alike, so accounting never leaks).
+#[derive(Debug)]
+struct Delivered {
+    item: StageItem,
+    cost: u64,
+}
+
+#[derive(Debug)]
+struct GateState {
+    depth: usize,
+    slots_used: usize,
+    bytes_in_flight: u64,
+    peak_bytes: u64,
+    stalls_full: u64,
+    chunks_read: u64,
+}
+
+#[derive(Debug)]
+struct ReorderState {
+    next: u64,
+    end: Option<u64>,
+    slots: BTreeMap<u64, Delivered>,
+    stalls_empty: u64,
+}
+
+#[derive(Debug)]
+struct WorkState {
+    queue: VecDeque<(u64, RawChunk, u64)>,
+    closed: bool,
+}
+
+/// Everything the stages share. One per pipeline run; lives on the
+/// `run` stack frame and is borrowed by the scoped threads.
+#[derive(Debug)]
+struct PipeShared {
+    gate: Mutex<GateState>,
+    gate_cv: Condvar,
+    reorder: Mutex<ReorderState>,
+    ready_cv: Condvar,
+    work: Mutex<WorkState>,
+    work_cv: Condvar,
+    cancel: AtomicBool,
+    /// Bytes this pipeline currently holds out of the shared budget
+    /// (drives the at-least-one admission rule and residual release).
+    held_bytes: AtomicU64,
+}
+
+impl PipeShared {
+    fn new(depth: usize) -> Self {
+        PipeShared {
+            gate: Mutex::new(GateState {
+                depth,
+                slots_used: 0,
+                bytes_in_flight: 0,
+                peak_bytes: 0,
+                stalls_full: 0,
+                chunks_read: 0,
+            }),
+            gate_cv: Condvar::new(),
+            reorder: Mutex::new(ReorderState {
+                next: 0,
+                end: None,
+                slots: BTreeMap::new(),
+                stalls_empty: 0,
+            }),
+            ready_cv: Condvar::new(),
+            work: Mutex::new(WorkState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            cancel: AtomicBool::new(false),
+            held_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> PipelineStats {
+        let gate = self.gate.lock().expect("gate lock");
+        let reorder = self.reorder.lock().expect("reorder lock");
+        PipelineStats {
+            chunks_prefetched: gate.chunks_read,
+            stalls_full: gate.stalls_full,
+            stalls_empty: reorder.stalls_empty,
+            peak_bytes_in_flight: gate.peak_bytes,
+        }
+    }
+
+    /// Raises the cancel flag and wakes every stage, whatever it is
+    /// blocked on.
+    fn cancel_all(&self, budget: Option<&InflightBudget>) {
+        self.cancel.store(true, Ordering::Release);
+        drop(self.gate.lock().expect("gate lock"));
+        self.gate_cv.notify_all();
+        drop(self.work.lock().expect("work lock"));
+        self.work_cv.notify_all();
+        drop(self.reorder.lock().expect("reorder lock"));
+        self.ready_cv.notify_all();
+        if let Some(budget) = budget {
+            budget.wake_all();
+        }
+    }
+}
+
+/// Blocks until a prefetch slot frees up. Returns false when cancelled.
+fn acquire_slot(shared: &PipeShared) -> bool {
+    let mut gate = shared.gate.lock().expect("gate lock");
+    let mut stalled = false;
+    loop {
+        if shared.cancel.load(Ordering::Acquire) {
+            return false;
+        }
+        if gate.slots_used < gate.depth {
+            gate.slots_used += 1;
+            return true;
+        }
+        if !stalled {
+            stalled = true;
+            gate.stalls_full += 1;
+        }
+        gate = shared.gate_cv.wait(gate).expect("gate lock");
+    }
+}
+
+/// Returns one slot (and its bytes) to the gate.
+fn release_slot(shared: &PipeShared, cost: u64) {
+    let mut gate = shared.gate.lock().expect("gate lock");
+    gate.slots_used = gate.slots_used.saturating_sub(1);
+    gate.bytes_in_flight = gate.bytes_in_flight.saturating_sub(cost);
+    drop(gate);
+    shared.gate_cv.notify_all();
+}
+
+/// Records a freshly prefetched chunk's bytes against the gate.
+fn note_chunk_read(shared: &PipeShared, cost: u64, budget_stalled: bool) {
+    let mut gate = shared.gate.lock().expect("gate lock");
+    gate.chunks_read += 1;
+    gate.bytes_in_flight = gate.bytes_in_flight.saturating_add(cost);
+    gate.peak_bytes = gate.peak_bytes.max(gate.bytes_in_flight);
+    if budget_stalled {
+        gate.stalls_full += 1;
+    }
+}
+
+/// Acquires `cost` bytes from the shared budget (no-op without one).
+/// Returns `None` when cancelled, else whether the acquisition blocked.
+fn acquire_budget(shared: &PipeShared, budget: Option<&InflightBudget>, cost: u64) -> Option<bool> {
+    match budget {
+        None => Some(false),
+        Some(budget) => budget.acquire(cost, &shared.held_bytes, &shared.cancel),
+    }
+}
+
+fn release_budget(shared: &PipeShared, budget: Option<&InflightBudget>, cost: u64) {
+    if let Some(budget) = budget {
+        budget.release(cost, &shared.held_bytes);
+    }
+}
+
+/// Inserts a delivered item at its sequence position.
+fn deliver(shared: &PipeShared, seq: u64, delivered: Delivered) {
+    let mut reorder = shared.reorder.lock().expect("reorder lock");
+    reorder.slots.insert(seq, delivered);
+    drop(reorder);
+    shared.ready_cv.notify_all();
+}
+
+/// Marks the stream as ending at `end` items (no seq ≥ `end` will arrive).
+fn finish_stream(shared: &PipeShared, end: u64) {
+    let mut reorder = shared.reorder.lock().expect("reorder lock");
+    reorder.end = Some(end);
+    drop(reorder);
+    shared.ready_cv.notify_all();
+}
+
+/// Closes the decode work queue so idle workers exit.
+fn close_work(shared: &PipeShared) {
+    let mut work = shared.work.lock().expect("work lock");
+    work.closed = true;
+    drop(work);
+    shared.work_cv.notify_all();
+}
+
+/// The reader stage: prefetches chunks (or raw frames) under the slot and
+/// budget caps. Panics are converted into an in-band stream error at the
+/// panicking position — the consumer sees them exactly like a corrupt
+/// chunk.
+fn reader_stage(input: PipelineInput<'_>, shared: &PipeShared, budget: Option<&InflightBudget>) {
+    let mut seq = 0u64;
+    let outcome = catch_unwind(AssertUnwindSafe(|| match input {
+        PipelineInput::Decoded(source) => read_decoded(source, shared, budget, &mut seq),
+        PipelineInput::Frames(source) => read_frames(source, shared, budget, &mut seq),
+    }));
+    if outcome.is_err() {
+        deliver(
+            shared,
+            seq,
+            Delivered {
+                item: StageItem::Err(panic_error("reader")),
+                cost: 0,
+            },
+        );
+        seq += 1;
+    }
+    finish_stream(shared, seq);
+    close_work(shared);
+}
+
+/// Reader body for decoded inputs: copy each chunk into an owned buffer
+/// and deliver it straight to the reorder buffer (there is nothing for
+/// decode workers to do).
+fn read_decoded(
+    source: &mut (dyn TraceSource + Send),
+    shared: &PipeShared,
+    budget: Option<&InflightBudget>,
+    seq: &mut u64,
+) {
+    loop {
+        if !acquire_slot(shared) {
+            return;
+        }
+        match source.next_chunk() {
+            Ok(None) => {
+                release_slot(shared, 0);
+                return;
+            }
+            Err(err) => {
+                deliver(
+                    shared,
+                    *seq,
+                    Delivered {
+                        item: StageItem::Err(err),
+                        cost: 0,
+                    },
+                );
+                *seq += 1;
+                return;
+            }
+            Ok(Some(chunk)) => {
+                let owned = OwnedChunk {
+                    first_index: chunk.first_index,
+                    accesses: chunk.accesses.to_vec(),
+                };
+                let cost = chunk_cost(owned.accesses.len());
+                let Some(stalled) = acquire_budget(shared, budget, cost) else {
+                    release_slot(shared, 0);
+                    return;
+                };
+                note_chunk_read(shared, cost, stalled);
+                deliver(
+                    shared,
+                    *seq,
+                    Delivered {
+                        item: StageItem::Chunk(owned),
+                        cost,
+                    },
+                );
+                *seq += 1;
+            }
+        }
+    }
+}
+
+/// Reader body for raw-frame inputs: lift frames off the stream and queue
+/// them for the decode workers.
+fn read_frames(
+    source: &mut (dyn RawFrameSource + Send),
+    shared: &PipeShared,
+    budget: Option<&InflightBudget>,
+    seq: &mut u64,
+) {
+    loop {
+        if !acquire_slot(shared) {
+            return;
+        }
+        match source.next_raw() {
+            Ok(None) => {
+                release_slot(shared, 0);
+                return;
+            }
+            Err(err) => {
+                deliver(
+                    shared,
+                    *seq,
+                    Delivered {
+                        item: StageItem::Err(err),
+                        cost: 0,
+                    },
+                );
+                *seq += 1;
+                return;
+            }
+            Ok(Some(raw)) => {
+                let cost = chunk_cost(raw.len());
+                let Some(stalled) = acquire_budget(shared, budget, cost) else {
+                    release_slot(shared, 0);
+                    return;
+                };
+                note_chunk_read(shared, cost, stalled);
+                let mut work = shared.work.lock().expect("work lock");
+                work.queue.push_back((*seq, raw, cost));
+                drop(work);
+                shared.work_cv.notify_all();
+                *seq += 1;
+            }
+        }
+    }
+}
+
+/// A decode worker: verify + parse raw frames, in any order, delivering
+/// into the reorder buffer. Panics (including ones raised by `decode_into`
+/// internals) become in-band errors at the frame's position.
+fn worker_stage(shared: &PipeShared) {
+    loop {
+        let job = {
+            let mut work = shared.work.lock().expect("work lock");
+            loop {
+                if shared.cancel.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = work.queue.pop_front() {
+                    break Some(job);
+                }
+                if work.closed {
+                    break None;
+                }
+                work = shared.work_cv.wait(work).expect("work lock");
+            }
+        };
+        let Some((seq, raw, cost)) = job else { return };
+        let item = match catch_unwind(AssertUnwindSafe(|| {
+            let mut accesses = Vec::with_capacity(raw.len());
+            raw.decode_into(&mut accesses).map(|()| OwnedChunk {
+                first_index: raw.first_index(),
+                accesses,
+            })
+        })) {
+            Ok(Ok(chunk)) => StageItem::Chunk(chunk),
+            Ok(Err(err)) => StageItem::Err(err),
+            Err(_) => StageItem::Err(panic_error("decode")),
+        };
+        deliver(shared, seq, Delivered { item, cost });
+    }
+}
+
+/// The consumer-facing [`TraceSource`] over the reorder buffer. Dropping
+/// it — normally, early, or during a panic — cancels the whole pipeline.
+#[derive(Debug)]
+struct PipedSource<'s> {
+    shared: &'s PipeShared,
+    budget: Option<&'s InflightBudget>,
+    meta: TraceMeta,
+    total: u64,
+    current: Vec<MemAccess>,
+    current_first: u64,
+    current_cost: Option<u64>,
+    failed: Option<TraceStreamError>,
+    finished: bool,
+}
+
+impl PipedSource<'_> {
+    /// Releases the slot and budget bytes of the chunk the consumer just
+    /// finished with.
+    fn release_current(&mut self) {
+        if let Some(cost) = self.current_cost.take() {
+            release_slot(self.shared, cost);
+            release_budget(self.shared, self.budget, cost);
+        }
+    }
+
+    fn pop_delivered(&mut self) -> Option<Delivered> {
+        let mut reorder: MutexGuard<'_, ReorderState> =
+            self.shared.reorder.lock().expect("reorder lock");
+        let mut stalled = false;
+        loop {
+            let next = reorder.next;
+            if let Some(delivered) = reorder.slots.remove(&next) {
+                reorder.next += 1;
+                return Some(delivered);
+            }
+            if reorder.end == Some(next) {
+                return None;
+            }
+            if !stalled {
+                stalled = true;
+                reorder.stalls_empty += 1;
+            }
+            reorder = self.shared.ready_cv.wait(reorder).expect("reorder lock");
+        }
+    }
+}
+
+impl TraceSource for PipedSource<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+        self.release_current();
+        if let Some(err) = &self.failed {
+            return Err(err.clone());
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        match self.pop_delivered() {
+            None => {
+                self.finished = true;
+                Ok(None)
+            }
+            Some(Delivered {
+                item: StageItem::Chunk(chunk),
+                cost,
+            }) => {
+                self.current = chunk.accesses;
+                self.current_first = chunk.first_index;
+                self.current_cost = Some(cost);
+                Ok(Some(AccessChunk {
+                    accesses: &self.current,
+                    first_index: self.current_first,
+                }))
+            }
+            Some(Delivered {
+                item: StageItem::Err(err),
+                cost,
+            }) => {
+                // The errored position's slot is released immediately; the
+                // error itself is sticky, like a failed reader.
+                release_slot(self.shared, cost);
+                release_budget(self.shared, self.budget, cost);
+                self.failed = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+}
+
+impl Drop for PipedSource<'_> {
+    fn drop(&mut self) {
+        self.release_current();
+        self.shared.cancel_all(self.budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{collect_trace, encode_chunked, TraceReader};
+    use crate::trace::DecodeTraceError;
+    use crate::{CoreId, Fingerprint, LineAddr, Trace, TraceMeta};
+    use std::io::Cursor;
+
+    fn key() -> Fingerprint {
+        Fingerprint::from_raw(0x5151_e0e0_aaaa_0001)
+    }
+
+    fn sample_trace(len: usize) -> Trace {
+        let meta = TraceMeta {
+            workload: "pipe-unit".into(),
+            cores: 2,
+            seed: 7,
+            footprint_lines: 512,
+        };
+        let mut t = Trace::new(meta);
+        for i in 0..len as u64 {
+            t.push(
+                MemAccess::read(CoreId::new((i % 2) as u16), LineAddr::new(i * 13 % 999))
+                    .with_gap((i % 5) as u32),
+            );
+        }
+        t
+    }
+
+    fn configs() -> Vec<PipelineConfig> {
+        vec![
+            PipelineConfig::serial(),
+            PipelineConfig::with_depth(2),
+            PipelineConfig::with_depth(4).with_decode_threads(2),
+            PipelineConfig::with_depth(8).with_decode_threads(3),
+        ]
+    }
+
+    #[test]
+    fn config_clamps_and_defaults() {
+        assert!(PipelineConfig::default().is_serial());
+        assert_eq!(PipelineConfig::with_depth(0).depth, 0);
+        assert_eq!(PipelineConfig::with_depth(1).depth, MIN_PIPELINE_DEPTH);
+        assert_eq!(PipelineConfig::with_depth(9).depth, 9);
+        assert_eq!(
+            PipelineConfig::serial()
+                .with_decode_threads(0)
+                .decode_threads,
+            1
+        );
+    }
+
+    #[test]
+    fn decoded_input_round_trips_in_order_at_every_depth() {
+        let t = sample_trace(1003);
+        for config in configs() {
+            let mut chunks = t.chunks(64);
+            let pipeline = ChunkPipeline::new(PipelineInput::Decoded(&mut chunks), config);
+            let (got, stats) = pipeline.run(|source| {
+                assert_eq!(source.total_accesses(), 1003);
+                assert_eq!(source.meta().workload, "pipe-unit");
+                let mut seen = 0u64;
+                let mut out = Vec::new();
+                while let Some(chunk) = source.next_chunk().unwrap() {
+                    assert_eq!(chunk.first_index, seen, "chunks arrive in trace order");
+                    seen += chunk.accesses.len() as u64;
+                    out.extend_from_slice(chunk.accesses);
+                }
+                out
+            });
+            assert_eq!(got, t.accesses(), "{config:?}");
+            if config.is_serial() {
+                assert_eq!(stats.chunks_prefetched, 0);
+            } else {
+                assert_eq!(stats.chunks_prefetched, 16, "{config:?}");
+                assert!(stats.peak_bytes_in_flight > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_input_round_trips_at_every_depth_and_thread_count() {
+        let t = sample_trace(777);
+        let sealed = encode_chunked(&t, key(), 50);
+        for config in configs() {
+            let mut reader = TraceReader::new(Cursor::new(&sealed), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (got, _) = pipeline.run(|source| collect_trace(source).unwrap());
+            assert_eq!(got, t, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_immediate_end() {
+        let t = Trace::new(TraceMeta {
+            workload: "empty".into(),
+            ..Default::default()
+        });
+        let mut chunks = t.chunks(16);
+        let pipeline = ChunkPipeline::new(
+            PipelineInput::Decoded(&mut chunks),
+            PipelineConfig::with_depth(4),
+        );
+        let (result, stats) = pipeline.run(|source| source.next_chunk().map(|c| c.is_none()));
+        assert!(result.unwrap());
+        assert_eq!(stats.chunks_prefetched, 0);
+    }
+
+    #[test]
+    fn mid_stream_corruption_surfaces_in_order_and_losslessly() {
+        let t = sample_trace(300);
+        let sealed = encode_chunked(&t, key(), 64);
+        // Flip a record byte inside the third frame.
+        let mut bad = sealed.clone();
+        let offset = crate::blob::HEADER_LEN
+            + super::super::payload_header_len("pipe-unit".len())
+            + 2 * (12 + 64 * crate::trace::ACCESS_RECORD_BYTES)
+            + 40;
+        bad[offset] ^= 0x01;
+        for config in configs() {
+            let mut reader = TraceReader::new(Cursor::new(&bad), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (outcome, _) = pipeline.run(|source| {
+                let mut yielded = 0u64;
+                loop {
+                    match source.next_chunk() {
+                        Ok(Some(chunk)) => yielded += chunk.accesses.len() as u64,
+                        Ok(None) => panic!("corruption must surface"),
+                        Err(err) => {
+                            // The error is sticky, exactly like a failed
+                            // synchronous reader.
+                            let again = source.next_chunk().unwrap_err();
+                            assert_eq!(again, err);
+                            break (yielded, err);
+                        }
+                    }
+                }
+            });
+            let (yielded, err) = outcome;
+            assert_eq!(
+                yielded, 128,
+                "both intact chunks precede the error: {config:?}"
+            );
+            assert!(
+                matches!(
+                    err,
+                    TraceStreamError::Trace(DecodeTraceError::ChunkChecksumMismatch { chunk: 2 })
+                ),
+                "{config:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn consumer_early_drop_does_not_deadlock() {
+        let t = sample_trace(10_000);
+        for config in [
+            PipelineConfig::with_depth(2),
+            PipelineConfig::with_depth(8).with_decode_threads(3),
+        ] {
+            // Decoded input, tiny chunks: the reader wants to run far ahead.
+            let mut chunks = t.chunks(16);
+            let pipeline = ChunkPipeline::new(PipelineInput::Decoded(&mut chunks), config);
+            let ((), stats) = pipeline.run(|source| {
+                source.next_chunk().unwrap();
+            });
+            assert!(stats.chunks_prefetched >= 1);
+
+            // Frame input through the decode workers.
+            let sealed = encode_chunked(&t, key(), 32);
+            let mut reader = TraceReader::new(Cursor::new(&sealed), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (first, _) =
+                pipeline.run(|source| source.next_chunk().unwrap().map(|c| c.accesses.len()));
+            assert_eq!(first, Some(32));
+        }
+        // If cancellation were broken, the scoped joins above would hang
+        // rather than fail — reaching this line is the assertion.
+    }
+
+    #[test]
+    fn consumer_panic_unwinds_cleanly_through_the_scope() {
+        let t = sample_trace(5_000);
+        let result = std::panic::catch_unwind(|| {
+            let mut chunks = t.chunks(16);
+            let pipeline = ChunkPipeline::new(
+                PipelineInput::Decoded(&mut chunks),
+                PipelineConfig::with_depth(4),
+            );
+            pipeline.run(|source| {
+                source.next_chunk().unwrap();
+                panic!("simulator blew up");
+            })
+        });
+        assert!(result.is_err(), "the panic propagates to the caller");
+    }
+
+    /// A source whose chunk N panics mid-`next_chunk` — the reader stage
+    /// must convert it into an in-band error after the good chunks.
+    struct PanickingSource {
+        meta: TraceMeta,
+        served: u64,
+        panic_at: u64,
+        buf: Vec<MemAccess>,
+    }
+
+    impl TraceSource for PanickingSource {
+        fn meta(&self) -> &TraceMeta {
+            &self.meta
+        }
+
+        fn total_accesses(&self) -> u64 {
+            (self.panic_at + 10) * 4
+        }
+
+        fn next_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+            if self.served == self.panic_at {
+                panic!("source exploded at chunk {}", self.served);
+            }
+            self.buf = (0..4)
+                .map(|i| MemAccess::read(CoreId::new(0), LineAddr::new(self.served * 4 + i)))
+                .collect();
+            let first_index = self.served * 4;
+            self.served += 1;
+            Ok(Some(AccessChunk {
+                accesses: &self.buf,
+                first_index,
+            }))
+        }
+    }
+
+    #[test]
+    fn panic_in_reader_stage_becomes_an_in_band_error() {
+        let mut source = PanickingSource {
+            meta: TraceMeta {
+                workload: "boom".into(),
+                ..Default::default()
+            },
+            served: 0,
+            panic_at: 3,
+            buf: Vec::new(),
+        };
+        let pipeline = ChunkPipeline::new(
+            PipelineInput::Decoded(&mut source),
+            PipelineConfig::with_depth(2),
+        );
+        let (outcome, _) = pipeline.run(|source| {
+            let mut good = 0;
+            loop {
+                match source.next_chunk() {
+                    Ok(Some(_)) => good += 1,
+                    Ok(None) => panic!("must error"),
+                    Err(err) => break (good, err),
+                }
+            }
+        });
+        assert_eq!(outcome.0, 3, "all chunks before the panic are delivered");
+        assert!(outcome.1.to_string().contains("panic in pipeline reader"));
+    }
+
+    #[test]
+    fn shared_budget_smaller_than_one_chunk_still_makes_progress() {
+        let t = sample_trace(2_000);
+        let budget = InflightBudget::new(1); // absurdly small
+        let mut chunks = t.chunks(100);
+        let pipeline = ChunkPipeline::new(
+            PipelineInput::Decoded(&mut chunks),
+            PipelineConfig::with_depth(8),
+        )
+        .with_budget(&budget);
+        let (got, stats) = pipeline.run(|source| collect_trace(source).unwrap());
+        assert_eq!(got, t);
+        // The at-least-one rule serializes prefetch: the budget stalls show.
+        assert!(stats.stalls_full > 0);
+        assert_eq!(budget.in_use(), 0, "all bytes returned");
+    }
+
+    #[test]
+    fn budget_is_fully_returned_after_early_drop() {
+        let t = sample_trace(5_000);
+        let budget = InflightBudget::new(1 << 20);
+        {
+            let mut chunks = t.chunks(64);
+            let pipeline = ChunkPipeline::new(
+                PipelineInput::Decoded(&mut chunks),
+                PipelineConfig::with_depth(8),
+            )
+            .with_budget(&budget);
+            let _ = pipeline.run(|source| {
+                source.next_chunk().unwrap();
+            });
+        }
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn two_pipelines_share_one_budget_concurrently() {
+        let t = sample_trace(3_000);
+        // Budget fits roughly two chunks; both pipelines must interleave
+        // under it and still replay correctly.
+        let budget = InflightBudget::new(2 * 64 * std::mem::size_of::<MemAccess>() as u64);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut chunks = t.chunks(64);
+                    let pipeline = ChunkPipeline::new(
+                        PipelineInput::Decoded(&mut chunks),
+                        PipelineConfig::with_depth(4),
+                    )
+                    .with_budget(&budget);
+                    let (got, _) = pipeline.run(|source| collect_trace(source).unwrap());
+                    assert_eq!(got, t);
+                });
+            }
+        });
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn stats_absorb_folds_counters() {
+        let mut a = PipelineStats {
+            chunks_prefetched: 3,
+            stalls_full: 1,
+            stalls_empty: 2,
+            peak_bytes_in_flight: 10,
+        };
+        let b = PipelineStats {
+            chunks_prefetched: 4,
+            stalls_full: u64::MAX,
+            stalls_empty: 1,
+            peak_bytes_in_flight: 7,
+        };
+        a.absorb(&b);
+        assert_eq!(a.chunks_prefetched, 7);
+        assert_eq!(a.stalls_full, u64::MAX, "saturates instead of wrapping");
+        assert_eq!(a.stalls_empty, 3);
+        assert_eq!(a.peak_bytes_in_flight, 10);
+    }
+
+    #[test]
+    fn truncated_stream_error_position_is_preserved() {
+        let t = sample_trace(200);
+        let sealed = encode_chunked(&t, key(), 64);
+        let cut = sealed.len() - 20; // inside the last frame
+        for config in configs() {
+            let mut reader = TraceReader::new(Cursor::new(&sealed[..cut]), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (outcome, _) = pipeline.run(|source| {
+                let mut yielded = 0u64;
+                loop {
+                    match source.next_chunk() {
+                        Ok(Some(chunk)) => yielded += chunk.accesses.len() as u64,
+                        Ok(None) => panic!("truncation must surface"),
+                        Err(err) => break (yielded, err),
+                    }
+                }
+            });
+            assert_eq!(
+                outcome.0, 192,
+                "three intact chunks, then the error: {config:?}"
+            );
+            assert!(
+                matches!(outcome.1, TraceStreamError::Envelope(_)),
+                "{config:?}: {:?}",
+                outcome.1
+            );
+        }
+    }
+}
