@@ -6,12 +6,12 @@
 //! results. Run with `STMS_BENCH_JSON=BENCH_streaming.json` to emit the
 //! committed perf artifact.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::path::PathBuf;
+use criterion::{black_box, criterion_group, criterion_main, report_value, Criterion};
+use std::path::{Path, PathBuf};
 use stms_bench::bench_workload;
 use stms_sim::campaign::{DiskTierConfig, TraceStore};
 use stms_sim::{run_source, run_trace, ExperimentConfig, PrefetcherKind};
-use stms_types::{PipelineConfig, DEFAULT_CHUNK_LEN};
+use stms_types::{PipelineConfig, TraceCodec, DEFAULT_CHUNK_LEN};
 use stms_workloads::{generate, TraceGenerator};
 
 const ACCESSES: usize = 30_000;
@@ -133,5 +133,79 @@ fn bench_pipelined_replay(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_streamed_replay, bench_pipelined_replay);
+/// Total bytes of the files in `dir` (the trace tier holds exactly the
+/// sealed trace files during these benches).
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Empties the trace tier so the next replay is cold again.
+fn remove_trace_files(dir: &Path) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn bench_codec_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_codec");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick().with_accesses(ACCESSES);
+    let kind = PrefetcherKind::Baseline;
+    let spec = bench_workload().with_accesses(ACCESSES);
+    let replay = |store: &TraceStore| {
+        store.replay_streaming(&spec, ACCESSES, |source| {
+            run_source(&cfg, source, &kind).map(|result| result.cycles)
+        })
+    };
+
+    for (name, codec) in [("v2", TraceCodec::V2), ("v3", TraceCodec::V3)] {
+        let dir = bench_dir(&format!("codec-{name}"));
+        let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .expect("create bench cache dir")
+            .with_streaming(true)
+            .with_codec(codec);
+
+        // Cold: every iteration generates, encodes to disk and streams the
+        // fresh file straight back — the full write+read cost of the codec.
+        group.bench_function(format!("cold_generator/{name}"), |b| {
+            b.iter(|| {
+                remove_trace_files(&dir);
+                black_box(replay(&store))
+            })
+        });
+
+        // Warm: the sealed file persists; every iteration pays only the
+        // read+decode side.
+        replay(&store); // repopulate after the cold sweep's final removal
+        group.bench_function(format!("warm_disk/{name}"), |b| {
+            b.iter(|| black_box(replay(&store)))
+        });
+
+        // The size artifact the timing rows trade against: v3's decode cost
+        // buys this many fewer bytes read per replay.
+        report_value(
+            &format!("trace_codec/bytes_on_disk/{name}"),
+            dir_bytes(&dir),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_streamed_replay,
+    bench_pipelined_replay,
+    bench_codec_axis
+);
 criterion_main!(benches);

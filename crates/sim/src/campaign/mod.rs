@@ -202,6 +202,13 @@ pub struct CampaignCaches {
     /// Decode workers per pipelined replay (`--decode-threads`); `0` means
     /// one. Only meaningful with `pipeline_depth > 0`.
     pub decode_threads: usize,
+    /// Payload codec for newly written trace files (`--trace-codec`). The
+    /// default, [`stms_types::TraceCodec::V3`], writes columnar compressed
+    /// chunks; [`stms_types::TraceCodec::V2`] keeps the fixed-width row
+    /// layout. Reading is
+    /// version-dispatched, so existing caches of either codec replay
+    /// unchanged whatever this is set to.
+    pub trace_codec: stms_types::TraceCodec,
 }
 
 impl CampaignCaches {
@@ -293,7 +300,8 @@ impl Campaign {
             }
             None => TraceStore::new(),
         }
-        .with_streaming(caches.stream_traces || caches.pipeline_depth > 0);
+        .with_streaming(caches.stream_traces || caches.pipeline_depth > 0)
+        .with_codec(caches.trace_codec);
         if caches.pipeline_depth > 0 {
             store = store
                 .with_pipeline(

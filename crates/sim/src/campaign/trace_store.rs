@@ -62,10 +62,12 @@ use stms_types::stream::pipeline::{
     ChunkPipeline, InflightBudget, PipelineConfig, PipelineInput, PipelineStats,
 };
 use stms_types::stream::{
-    collect_trace, AccessChunk, ChunkedTraceWriter, TraceReader, TraceSource, TraceStreamError,
-    DEFAULT_CHUNK_LEN,
+    collect_trace, AccessChunk, ChunkedTraceWriter, TraceCodec, TraceReader, TraceSource,
+    TraceStreamError, DEFAULT_CHUNK_LEN,
 };
-use stms_types::{blob, Fingerprint, Fingerprintable, SharedTrace, Trace, TraceMeta};
+use stms_types::{
+    blob, Fingerprint, Fingerprintable, SharedTrace, Trace, TraceMeta, ACCESS_RECORD_BYTES,
+};
 use stms_workloads::{generate, TraceGenerator, WorkloadSpec};
 
 /// Counters describing how a [`TraceStore`] was used.
@@ -117,6 +119,13 @@ pub struct TraceStoreStats {
     pub pipeline_stalls_empty: u64,
     /// High-water mark of decoded bytes buffered by any single pipeline.
     pub pipeline_peak_bytes: u64,
+    /// Bytes read from disk by successful streamed replays (sealed file
+    /// sizes, i.e. compressed bytes under codec v3).
+    pub stream_disk_bytes: u64,
+    /// Decoded bytes delivered by those same replays (`accesses ×`
+    /// [`ACCESS_RECORD_BYTES`]). The ratio of the two is the effective
+    /// compression of the on-disk codec.
+    pub stream_decoded_bytes: u64,
 }
 
 /// Configuration of the persistent tier of a [`TraceStore`].
@@ -197,6 +206,10 @@ pub struct TraceStore {
     /// running pipelines — shared across every job of the `JobPool`, not
     /// per job.
     pipeline_budget: Option<Arc<InflightBudget>>,
+    /// Payload codec stamped into every trace file this store writes. The
+    /// reader side is version-dispatched, so a store always replays files
+    /// written under either codec regardless of this setting.
+    codec: TraceCodec,
     hits: AtomicU64,
     misses: AtomicU64,
     generated: AtomicU64,
@@ -213,6 +226,8 @@ pub struct TraceStore {
     pipeline_stalls_full: AtomicU64,
     pipeline_stalls_empty: AtomicU64,
     pipeline_peak_bytes: AtomicU64,
+    stream_disk_bytes: AtomicU64,
+    stream_decoded_bytes: AtomicU64,
 }
 
 /// Saturating add on a stats counter. Every store counter goes through
@@ -345,6 +360,19 @@ impl TraceStore {
         self
     }
 
+    /// Returns the store with the given on-disk payload codec. New trace
+    /// files are written under it; existing files of either codec stay
+    /// readable (the reader dispatches on the envelope version).
+    pub fn with_codec(mut self, codec: TraceCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The codec stamped into trace files this store writes.
+    pub fn codec(&self) -> TraceCodec {
+        self.codec
+    }
+
     /// Shares a campaign-global in-flight byte budget across every pipeline
     /// this store constructs (and, via clones of the `Arc`, across other
     /// stores of the same campaign). Without one, each pipeline is bounded
@@ -475,7 +503,7 @@ impl TraceStore {
         counter_add(&self.disk_misses, 1);
         counter_add(&self.generated, 1);
         let mut generator = TraceGenerator::new(key);
-        match write_chunked_file(&disk.dir, &path, fingerprint, &mut generator) {
+        match write_chunked_file(&disk.dir, &path, fingerprint, self.codec, &mut generator) {
             Ok(bytes) => {
                 counter_add(&self.disk_writes, 1);
                 self.enforce_budget(disk, &path, bytes);
@@ -558,6 +586,7 @@ impl TraceStore {
             self.evict_stream_file(key, &path, opened.as_ref());
             return Err(());
         }
+        let total_accesses = reader.total_accesses();
         // Under a pipeline, frame I/O runs on the reader thread and
         // checksum/decode on the worker threads; serially, this is the
         // unchanged synchronous read-verify-decode loop.
@@ -574,6 +603,17 @@ impl TraceStore {
         match outcome {
             Ok(value) => {
                 counter_add(&self.disk_hits, 1);
+                // On-disk vs decoded byte accounting of the replay that
+                // actually completed: the ratio is the run summary's
+                // `compression:` line.
+                counter_add(
+                    &self.stream_disk_bytes,
+                    opened.as_ref().map_or(0, std::fs::Metadata::len),
+                );
+                counter_add(
+                    &self.stream_decoded_bytes,
+                    total_accesses.saturating_mul(ACCESS_RECORD_BYTES as u64),
+                );
                 Ok(value)
             }
             Err(_) => {
@@ -686,7 +726,8 @@ impl TraceStore {
     fn persist(&self, disk: &DiskTierConfig, trace: &Trace, fingerprint: Fingerprint) {
         let path = trace_path(&disk.dir, fingerprint);
         let mut source = trace.chunks(DEFAULT_CHUNK_LEN);
-        let Ok(bytes) = write_chunked_file(&disk.dir, &path, fingerprint, &mut source) else {
+        let Ok(bytes) = write_chunked_file(&disk.dir, &path, fingerprint, self.codec, &mut source)
+        else {
             return;
         };
         counter_add(&self.disk_writes, 1);
@@ -755,6 +796,8 @@ impl TraceStore {
             pipeline_stalls_full: self.pipeline_stalls_full.load(Ordering::Relaxed),
             pipeline_stalls_empty: self.pipeline_stalls_empty.load(Ordering::Relaxed),
             pipeline_peak_bytes: self.pipeline_peak_bytes.load(Ordering::Relaxed),
+            stream_disk_bytes: self.stream_disk_bytes.load(Ordering::Relaxed),
+            stream_decoded_bytes: self.stream_decoded_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -792,6 +835,8 @@ impl TraceStore {
             &self.pipeline_stalls_full,
             &self.pipeline_stalls_empty,
             &self.pipeline_peak_bytes,
+            &self.stream_disk_bytes,
+            &self.stream_decoded_bytes,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -807,6 +852,7 @@ fn write_chunked_file(
     dir: &Path,
     path: &Path,
     key: Fingerprint,
+    codec: TraceCodec,
     source: &mut dyn TraceSource,
 ) -> Result<u64, TraceStreamError> {
     let tmp = dir.join(unique_tmp_name(key));
@@ -814,8 +860,14 @@ fn write_chunked_file(
         let file = fs::File::create(&tmp)?;
         let meta: TraceMeta = source.meta().clone();
         let total = source.total_accesses();
-        let mut writer =
-            ChunkedTraceWriter::new(BufWriter::new(file), key, &meta, total, DEFAULT_CHUNK_LEN)?;
+        let mut writer = ChunkedTraceWriter::with_codec(
+            BufWriter::new(file),
+            key,
+            &meta,
+            total,
+            DEFAULT_CHUNK_LEN,
+            codec,
+        )?;
         while let Some(chunk) = source.next_chunk()? {
             writer.push(chunk.accesses)?;
         }
@@ -1121,6 +1173,92 @@ mod tests {
         let materialized = TraceStore::with_disk_tier(DiskTierConfig::new(&dir)).unwrap();
         assert_eq!(*materialized.get_or_generate(&spec, 3_000), expect);
         assert_eq!(materialized.stats().disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_codec_shrinks_the_warm_tier_at_least_two_fold() {
+        let spec = presets::oltp_db2();
+        let key = spec.clone().with_accesses(6_000).fingerprint();
+
+        let v2_dir = temp_dir("codec-v2");
+        let v2 = TraceStore::with_disk_tier(DiskTierConfig::new(&v2_dir))
+            .unwrap()
+            .with_streaming(true)
+            .with_codec(TraceCodec::V2);
+        assert_eq!(v2.codec(), TraceCodec::V2);
+        let baseline = v2.replay_streaming(&spec, 6_000, drain);
+
+        let v3_dir = temp_dir("codec-v3");
+        let v3 = TraceStore::with_disk_tier(DiskTierConfig::new(&v3_dir))
+            .unwrap()
+            .with_streaming(true);
+        assert_eq!(v3.codec(), TraceCodec::V3, "v3 is the default");
+        assert_eq!(v3.replay_streaming(&spec, 6_000, drain), baseline);
+
+        let v2_bytes = fs::metadata(trace_path(&v2_dir, key)).unwrap().len();
+        let v3_bytes = fs::metadata(trace_path(&v3_dir, key)).unwrap().len();
+        assert!(
+            v3_bytes.saturating_mul(2) <= v2_bytes,
+            "v3 file must be at least 2x smaller: v2={v2_bytes} v3={v3_bytes}"
+        );
+        let _ = fs::remove_dir_all(&v2_dir);
+        let _ = fs::remove_dir_all(&v3_dir);
+    }
+
+    #[test]
+    fn v2_files_replay_under_a_v3_default_store() {
+        let dir = temp_dir("codec-compat");
+        let spec = presets::web_zeus();
+        let expect = generate(&spec.clone().with_accesses(2_000));
+
+        // An old deployment populated the cache with v2 files…
+        let old = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true)
+            .with_codec(TraceCodec::V2);
+        old.replay_streaming(&spec, 2_000, drain);
+
+        // …and a v3-default binary must stream them untouched: no flag, no
+        // eviction, no regeneration, same bytes.
+        let new = TraceStore::with_disk_tier(DiskTierConfig::new(&dir).with_verify(true))
+            .unwrap()
+            .with_streaming(true);
+        assert_eq!(new.replay_streaming(&spec, 2_000, drain), expect.accesses());
+        let stats = new.stats();
+        assert_eq!(
+            (stats.generated, stats.disk_hits, stats.disk_corrupt),
+            (0, 1, 0)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_byte_counters_report_on_disk_and_decoded_bytes() {
+        let dir = temp_dir("stream-bytes");
+        let spec = presets::web_apache();
+        let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+            .unwrap()
+            .with_streaming(true);
+        store.replay_streaming(&spec, 3_000, drain);
+        store.replay_streaming(&spec, 3_000, drain);
+
+        let file_len = fs::metadata(trace_path(
+            &dir,
+            spec.clone().with_accesses(3_000).fingerprint(),
+        ))
+        .unwrap()
+        .len();
+        let stats = store.stats();
+        assert_eq!(stats.stream_disk_bytes, 2 * file_len);
+        assert_eq!(
+            stats.stream_decoded_bytes,
+            2 * 3_000 * ACCESS_RECORD_BYTES as u64
+        );
+        assert!(
+            stats.stream_disk_bytes < stats.stream_decoded_bytes,
+            "the default codec must compress"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

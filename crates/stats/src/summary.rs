@@ -139,6 +139,11 @@ pub struct StreamReport {
     pub chunks: u64,
     /// Streamed attempts abandoned mid-stream (evicted and retried).
     pub fallbacks: u64,
+    /// Bytes read from disk by the replays that completed (compressed
+    /// bytes under trace codec v3).
+    pub disk_bytes: u64,
+    /// Decoded bytes those same replays delivered to the simulator.
+    pub decoded_bytes: u64,
 }
 
 impl StreamReport {
@@ -149,6 +154,21 @@ impl StreamReport {
             "streamed replay: {} replays, {} chunks, {} fallbacks",
             self.replays, self.chunks, self.fallbacks
         )
+    }
+
+    /// The on-disk codec's effective compression, e.g.
+    /// `compression: 1234567 bytes on disk, 7200000 decoded (5.83x)`.
+    /// `None` when no replay touched the disk tier (generator-only
+    /// streaming has no on-disk bytes to compare).
+    pub fn compression_line(&self) -> Option<String> {
+        if self.disk_bytes == 0 {
+            return None;
+        }
+        let ratio = self.decoded_bytes as f64 / self.disk_bytes as f64;
+        Some(format!(
+            "compression: {} bytes on disk, {} decoded ({ratio:.2}x)",
+            self.disk_bytes, self.decoded_bytes
+        ))
     }
 }
 
@@ -254,6 +274,11 @@ impl RunSummary {
             out.push_str("  ");
             out.push_str(&stream.render_line());
             out.push('\n');
+            if let Some(line) = stream.compression_line() {
+                out.push_str("    ");
+                out.push_str(&line);
+                out.push('\n');
+            }
         }
         for pipeline in &self.pipelines {
             out.push_str("  ");
@@ -342,6 +367,8 @@ mod tests {
             replays: 16,
             chunks: 128,
             fallbacks: 1,
+            disk_bytes: 0,
+            decoded_bytes: 0,
         };
         assert_eq!(
             report.render_line(),
@@ -368,6 +395,40 @@ mod tests {
         assert!(only_stream.is_empty());
         only_stream.push_stream(StreamReport::default());
         assert!(!only_stream.is_empty());
+    }
+
+    #[test]
+    fn compression_line_renders_only_for_disk_backed_streams() {
+        // Generator-only streaming has no on-disk bytes: no line at all.
+        let memory_only = StreamReport {
+            replays: 4,
+            chunks: 32,
+            fallbacks: 0,
+            disk_bytes: 0,
+            decoded_bytes: 480_000,
+        };
+        assert_eq!(memory_only.compression_line(), None);
+
+        let warm = StreamReport {
+            disk_bytes: 1_000,
+            decoded_bytes: 2_500,
+            ..memory_only
+        };
+        assert_eq!(
+            warm.compression_line().as_deref(),
+            Some("compression: 1000 bytes on disk, 2500 decoded (2.50x)")
+        );
+
+        // In the rendered block the ratio hangs under its stream line,
+        // indented one level deeper.
+        let mut summary = RunSummary::new();
+        summary.push_stream(warm);
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert!(lines[1].starts_with("  streamed replay:"), "{}", lines[1]);
+        assert_eq!(
+            lines[2],
+            "    compression: 1000 bytes on disk, 2500 decoded (2.50x)"
+        );
     }
 
     #[test]

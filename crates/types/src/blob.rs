@@ -53,6 +53,12 @@ pub const HEADER_LEN: usize = 4 + 2 + 2 + 16 + 8;
 /// Trailing checksum size of a sealed blob.
 pub const CHECKSUM_LEN: usize = 8;
 
+/// Byte offset of the little-endian `payload_len` field inside the fixed
+/// header (after magic, envelope version, codec version and key). Streaming
+/// writers whose payload length is unknown up front (the columnar chunk
+/// codec) seek back here to patch the real length at finish time.
+pub(crate) const PAYLOAD_LEN_OFFSET: usize = 4 + 2 + 2 + 16;
+
 /// Why a sealed blob could not be opened.
 ///
 /// Marked `#[non_exhaustive]`: future envelope revisions may detect new
@@ -142,7 +148,7 @@ pub fn encode_header(codec_version: u16, key: Fingerprint, payload_len: u64) -> 
     out[4..6].copy_from_slice(&ENVELOPE_VERSION.to_le_bytes());
     out[6..8].copy_from_slice(&codec_version.to_le_bytes());
     out[8..24].copy_from_slice(&key.raw().to_le_bytes());
-    out[24..32].copy_from_slice(&payload_len.to_le_bytes());
+    out[PAYLOAD_LEN_OFFSET..HEADER_LEN].copy_from_slice(&payload_len.to_le_bytes());
     out
 }
 

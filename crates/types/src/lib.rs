@@ -39,8 +39,9 @@ pub use stream::pipeline::{
     ChunkPipeline, InflightBudget, PipelineConfig, PipelineInput, PipelineStats, MIN_PIPELINE_DEPTH,
 };
 pub use stream::{
-    AccessChunk, ChunkedTraceWriter, RawChunk, RawFrameSource, TraceChunks, TraceReader,
-    TraceSource, TraceStreamError, DEFAULT_CHUNK_LEN, TRACE_CHUNKED_CODEC_VERSION,
+    AccessChunk, ChunkedTraceWriter, RawChunk, RawFrameSource, TraceChunks, TraceCodec,
+    TraceReader, TraceSource, TraceStreamError, DEFAULT_CHUNK_LEN, TRACE_CHUNKED_CODEC_VERSION,
+    TRACE_COLUMNAR_CODEC_VERSION,
 };
 pub use time::Cycle;
-pub use trace::{SharedTrace, Trace, TraceMeta, TRACE_CODEC_VERSION};
+pub use trace::{SharedTrace, Trace, TraceMeta, ACCESS_RECORD_BYTES, TRACE_CODEC_VERSION};

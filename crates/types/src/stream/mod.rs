@@ -10,16 +10,24 @@
 //! * [`TraceSource`] — anything that can hand out a trace chunk by chunk
 //!   (a materialized [`Trace`] via [`Trace::chunks`], the resumable
 //!   generator in `stms-workloads`, or a disk blob via [`TraceReader`]);
-//! * a **chunk-framed codec** ([`TRACE_CHUNKED_CODEC_VERSION`]) that stores
-//!   the same big-endian access records as [`Trace::encode`] inside the
-//!   sealed [`crate::blob`] envelope, but framed into fixed-size chunks
-//!   each carrying its own length and checksum — so a reader can verify and
-//!   replay a trace without ever holding more than one chunk;
+//! * a **chunk-framed codec** that stores access records inside the sealed
+//!   [`crate::blob`] envelope, framed into fixed-size chunks each carrying
+//!   its own length and checksum — so a reader can verify and replay a
+//!   trace without ever holding more than one chunk. Two payload codecs
+//!   share this framing (selected by [`TraceCodec`]): **v2**
+//!   ([`TRACE_CHUNKED_CODEC_VERSION`]) stores the same big-endian row
+//!   records as [`Trace::encode`], and **v3**
+//!   ([`TRACE_COLUMNAR_CODEC_VERSION`], the default) re-lays each chunk out
+//!   columnarly and compresses per column (see [`columnar`]'s module docs
+//!   for the layout);
 //! * [`ChunkedTraceWriter`] / [`TraceReader`] — the streaming encoder and
-//!   decoder of that format. The writer computes the envelope's payload
-//!   length up front (records are fixed width) and folds the whole-payload
-//!   checksum incrementally while chunks flow through, so sealing never
-//!   materializes the encoded trace either;
+//!   decoder of that format. The v2 writer computes the envelope's payload
+//!   length up front (records are fixed width); the v3 writer seeks back
+//!   and patches it at finish time (compressed sizes are data-dependent).
+//!   Both fold the whole-payload checksum incrementally while chunks flow
+//!   through, so sealing never materializes the encoded trace. The reader
+//!   dispatches on the codec version in the envelope, so v2 blobs written
+//!   by earlier builds stay readable with no flag;
 //! * the [`pipeline`] submodule — a staged prefetch→decode engine
 //!   ([`pipeline::ChunkPipeline`]) that overlaps reading, checksum/decode
 //!   work and simulation across threads while preserving the exact chunk
@@ -60,15 +68,66 @@ use crate::fingerprint::{Fingerprint, Fingerprinter};
 use crate::trace::{parse_access, put_access, DecodeTraceError, ACCESS_RECORD_BYTES};
 use crate::{MemAccess, Trace, TraceMeta};
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
+pub mod columnar;
 pub mod pipeline;
 
-/// Version of the chunk-framed trace payload codec, stamped into the sealed
-/// [`crate::blob`] envelope. Distinct from
-/// [`crate::trace::TRACE_CODEC_VERSION`] (the whole-trace layout), so a
-/// cache file written under either codec can never be misread as the other.
+/// Version of the chunk-framed **row** trace payload codec (fixed-width
+/// records), stamped into the sealed [`crate::blob`] envelope. Distinct
+/// from [`crate::trace::TRACE_CODEC_VERSION`] (the whole-trace layout), so
+/// a cache file written under either codec can never be misread as the
+/// other.
 pub const TRACE_CHUNKED_CODEC_VERSION: u16 = 2;
+
+/// Version of the chunk-framed **columnar compressed** trace payload codec
+/// (see [`columnar`]). Shares the envelope, per-chunk framing and
+/// corruption behaviour of v2; only the bytes inside each frame differ.
+pub const TRACE_COLUMNAR_CODEC_VERSION: u16 = 3;
+
+/// Which chunk-framed payload codec a writer emits. Readers never need
+/// this: they dispatch on the version stamped in the sealed envelope.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TraceCodec {
+    /// Fixed-width big-endian row records ([`TRACE_CHUNKED_CODEC_VERSION`]).
+    /// Kept writable for compatibility checks and cache interchange with
+    /// older builds.
+    V2,
+    /// Columnar per-chunk compression ([`TRACE_COLUMNAR_CODEC_VERSION`]):
+    /// several-fold smaller on disk for the same trace, decompressed on the
+    /// pipeline's decode workers.
+    #[default]
+    V3,
+}
+
+impl TraceCodec {
+    /// The codec version stamped into the sealed envelope.
+    pub fn version(self) -> u16 {
+        match self {
+            TraceCodec::V2 => TRACE_CHUNKED_CODEC_VERSION,
+            TraceCodec::V3 => TRACE_COLUMNAR_CODEC_VERSION,
+        }
+    }
+
+    /// Maps an envelope codec version back to a codec, or `None` for
+    /// versions this build cannot read.
+    pub fn from_version(version: u16) -> Option<Self> {
+        match version {
+            TRACE_CHUNKED_CODEC_VERSION => Some(TraceCodec::V2),
+            TRACE_COLUMNAR_CODEC_VERSION => Some(TraceCodec::V3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCodec::V2 => f.write_str("v2"),
+            TraceCodec::V3 => f.write_str("v3"),
+        }
+    }
+}
 
 /// Default accesses per chunk (64 Ki accesses ≈ 1 MB of encoded records):
 /// large enough that per-chunk dispatch cost vanishes against simulation
@@ -275,9 +334,20 @@ fn chunked_payload_len(name_len: usize, total: u64, chunk_len: usize) -> Option<
 /// slicing — the writer reframes internally), then call
 /// [`ChunkedTraceWriter::finish`]. The writer enforces that exactly the
 /// declared number of accesses flows through.
+///
+/// The sink must seek: the v3 codec's payload length is data-dependent, so
+/// its envelope header is patched at finish time ([`io::Cursor`] for
+/// in-memory sinks, `BufWriter<File>` on disk — both seek).
 #[derive(Debug)]
-pub struct ChunkedTraceWriter<W: Write> {
+pub struct ChunkedTraceWriter<W: Write + Seek> {
     sink: W,
+    codec: TraceCodec,
+    /// Stream position of the envelope header, for the v3 finish-time
+    /// payload-length patch.
+    header_start: u64,
+    /// Payload bytes emitted so far (excludes envelope and trailing
+    /// checksum).
+    payload_bytes: u64,
     /// Running whole-payload checksum (identical to what [`blob::seal`]
     /// would record over the same payload bytes).
     payload_fp: Fingerprinter,
@@ -288,10 +358,30 @@ pub struct ChunkedTraceWriter<W: Write> {
     scratch: Vec<u8>,
 }
 
-impl<W: Write> ChunkedTraceWriter<W> {
-    /// Starts a sealed chunk-framed stream for a trace of exactly
-    /// `total_accesses` accesses, writing the envelope and trace header
-    /// immediately.
+impl<W: Write + Seek> ChunkedTraceWriter<W> {
+    /// Starts a sealed chunk-framed **v2** stream (see
+    /// [`ChunkedTraceWriter::with_codec`]). Kept as the row-codec
+    /// constructor because v2's byte layout is pinned by compatibility
+    /// tests and cross-build cache interchange.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChunkedTraceWriter::with_codec`].
+    pub fn new(
+        sink: W,
+        key: Fingerprint,
+        meta: &TraceMeta,
+        total_accesses: u64,
+        chunk_len: usize,
+    ) -> io::Result<Self> {
+        Self::with_codec(sink, key, meta, total_accesses, chunk_len, TraceCodec::V2)
+    }
+
+    /// Starts a sealed chunk-framed stream under the given payload codec
+    /// for a trace of exactly `total_accesses` accesses, writing the
+    /// envelope and trace header immediately. For [`TraceCodec::V3`] the
+    /// envelope's payload length is a placeholder until
+    /// [`ChunkedTraceWriter::finish`] patches it.
     ///
     /// # Errors
     ///
@@ -302,12 +392,13 @@ impl<W: Write> ChunkedTraceWriter<W> {
     /// # Panics
     ///
     /// Never panics.
-    pub fn new(
+    pub fn with_codec(
         mut sink: W,
         key: Fingerprint,
         meta: &TraceMeta,
         total_accesses: u64,
         chunk_len: usize,
+        codec: TraceCodec,
     ) -> io::Result<Self> {
         if chunk_len == 0 || chunk_len > MAX_CHUNK_LEN {
             return Err(io::Error::new(
@@ -321,6 +412,10 @@ impl<W: Write> ChunkedTraceWriter<W> {
                 "workload name longer than a u16 length prefix",
             ));
         }
+        // v2 stamps the exact payload length up front; v3 cannot know it
+        // yet, but still refuses totals whose *decoded* size overflows the
+        // length arithmetic, so both codecs reject the same degenerate
+        // inputs.
         let payload_len = chunked_payload_len(meta.workload.len(), total_accesses, chunk_len)
             .ok_or_else(|| {
                 io::Error::new(
@@ -328,13 +423,17 @@ impl<W: Write> ChunkedTraceWriter<W> {
                     "trace too large for the chunk-framed length arithmetic",
                 )
             })?;
-        sink.write_all(&blob::encode_header(
-            TRACE_CHUNKED_CODEC_VERSION,
-            key,
-            payload_len,
-        ))?;
+        let header_start = sink.stream_position()?;
+        let stamped_len = match codec {
+            TraceCodec::V2 => payload_len,
+            TraceCodec::V3 => 0,
+        };
+        sink.write_all(&blob::encode_header(codec.version(), key, stamped_len))?;
         let mut writer = ChunkedTraceWriter {
             sink,
+            codec,
+            header_start,
+            payload_bytes: 0,
             payload_fp: Fingerprinter::new(),
             chunk_len,
             total: total_accesses,
@@ -355,9 +454,11 @@ impl<W: Write> ChunkedTraceWriter<W> {
         Ok(writer)
     }
 
-    /// Writes payload bytes, folding them into the running checksum.
+    /// Writes payload bytes, folding them into the running checksum and the
+    /// running payload length.
     fn emit(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.payload_fp.write_bytes(bytes);
+        self.payload_bytes += bytes.len() as u64;
         self.sink.write_all(bytes)
     }
 
@@ -401,27 +502,47 @@ impl<W: Write> ChunkedTraceWriter<W> {
         }
         self.written = written;
         self.scratch.clear();
-        self.scratch
-            .reserve(accesses.len() * ACCESS_RECORD_BYTES + 12);
-        self.scratch
-            .extend_from_slice(&(accesses.len() as u32).to_be_bytes());
-        self.scratch.extend_from_slice(&[0u8; 8]); // checksum placeholder
-        for a in accesses {
-            put_access(&mut self.scratch, a);
+        match self.codec {
+            TraceCodec::V2 => {
+                self.scratch
+                    .reserve(accesses.len() * ACCESS_RECORD_BYTES + V2_FRAME_HEADER);
+                self.scratch
+                    .extend_from_slice(&(accesses.len() as u32).to_be_bytes());
+                self.scratch.extend_from_slice(&[0u8; 8]); // checksum placeholder
+                for a in accesses {
+                    put_access(&mut self.scratch, a);
+                }
+                // The frame checksum covers only the record bytes.
+                let mut fp = Fingerprinter::new();
+                fp.write_bytes(&self.scratch[V2_FRAME_HEADER..]);
+                let checksum = chunk_checksum(&fp).to_be_bytes();
+                self.scratch[4..V2_FRAME_HEADER].copy_from_slice(&checksum);
+            }
+            TraceCodec::V3 => {
+                self.scratch
+                    .extend_from_slice(&(accesses.len() as u32).to_be_bytes());
+                self.scratch.extend_from_slice(&[0u8; 4]); // compressed-length placeholder
+                self.scratch.extend_from_slice(&[0u8; 8]); // checksum placeholder
+                columnar::encode_columns(accesses, &mut self.scratch);
+                let comp_len = (self.scratch.len() - V3_FRAME_HEADER) as u32;
+                self.scratch[4..8].copy_from_slice(&comp_len.to_be_bytes());
+                // The frame checksum covers the compressed column bytes, so
+                // a flipped bit anywhere inside a column fails the frame
+                // before decompression is even attempted.
+                let mut fp = Fingerprinter::new();
+                fp.write_bytes(&self.scratch[V3_FRAME_HEADER..]);
+                let checksum = chunk_checksum(&fp).to_be_bytes();
+                self.scratch[8..V3_FRAME_HEADER].copy_from_slice(&checksum);
+            }
         }
-        // The frame checksum covers only the record bytes.
-        let mut fp = Fingerprinter::new();
-        fp.write_bytes(&self.scratch[12..]);
-        let checksum = chunk_checksum(&fp).to_be_bytes();
-        self.scratch[4..12].copy_from_slice(&checksum);
         let frame = std::mem::take(&mut self.scratch);
         let result = self.emit(&frame);
         self.scratch = frame;
         result
     }
 
-    /// Flushes the final partial chunk and the trailing checksum, returning
-    /// the sink.
+    /// Flushes the final partial chunk and the trailing checksum (patching
+    /// the envelope's payload length under v3), returning the sink.
     ///
     /// # Errors
     ///
@@ -443,10 +564,28 @@ impl<W: Write> ChunkedTraceWriter<W> {
         }
         let checksum = payload_checksum(&self.payload_fp);
         self.sink.write_all(&checksum.to_le_bytes())?;
+        if self.codec == TraceCodec::V3 {
+            // Compressed payload lengths are only known now: patch the
+            // envelope's payload-length field in place, then restore the
+            // position so the sink ends at end-of-blob like v2.
+            let end = self.sink.stream_position()?;
+            self.sink.seek(SeekFrom::Start(
+                self.header_start + blob::PAYLOAD_LEN_OFFSET as u64,
+            ))?;
+            self.sink.write_all(&self.payload_bytes.to_le_bytes())?;
+            self.sink.seek(SeekFrom::Start(end))?;
+        }
         self.sink.flush()?;
         Ok(self.sink)
     }
 }
+
+/// Frame header size of a v2 frame: record count + frame checksum.
+const V2_FRAME_HEADER: usize = 4 + 8;
+
+/// Frame header size of a v3 frame: record count + compressed length +
+/// frame checksum.
+const V3_FRAME_HEADER: usize = 4 + 4 + 8;
 
 /// The frame checksum: the low 64 bits of FNV-1a-128 over the frame's
 /// record bytes — deliberately the *same* fold the blob envelope records
@@ -460,32 +599,38 @@ fn payload_checksum(fp: &Fingerprinter) -> u64 {
     blob::checksum_finish(fp)
 }
 
-/// One undecoded chunk frame lifted off a chunk-framed stream: the record
-/// bytes plus the frame checksum the writer recorded for them.
+/// One undecoded chunk frame lifted off a chunk-framed stream: the frame's
+/// payload bytes (row records under v2, a compressed column block under
+/// v3), its record count, and the frame checksum the writer recorded.
 ///
-/// Produced by [`TraceReader::next_raw`] (stage one: I/O). Verification and
-/// parsing happen in [`RawChunk::decode_into`] (stage two: CPU), which is
-/// what lets the [`pipeline`] run several decode workers in parallel while
-/// a single reader thread owns the file handle. A `RawChunk` is fully
-/// owned, so it can cross threads freely.
+/// Produced by [`TraceReader::next_raw`] (stage one: I/O). Verification,
+/// decompression and parsing happen in [`RawChunk::decode_into`] (stage
+/// two: CPU), which is what lets the [`pipeline`] run several decode
+/// workers in parallel while a single reader thread owns the file handle —
+/// under v3 that includes the per-chunk decompression. A `RawChunk` is
+/// fully owned, so it can cross threads freely.
 #[derive(Debug, Clone)]
 pub struct RawChunk {
     first_index: u64,
     chunk_index: u64,
     checksum: u64,
+    codec: TraceCodec,
+    count: usize,
     records: Vec<u8>,
 }
 
 impl RawChunk {
-    /// Number of access records in this frame.
+    /// Number of access records in this frame — the *decoded* count, which
+    /// is what the pipeline's in-flight byte budget charges, so the budget
+    /// invariant is codec-independent.
     pub fn len(&self) -> usize {
-        self.records.len() / ACCESS_RECORD_BYTES
+        self.count
     }
 
     /// Whether the frame carries no records (never produced by a
     /// well-formed stream, but the type does not forbid it).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.count == 0
     }
 
     /// Index (within the whole trace) of the first access of the frame.
@@ -493,19 +638,20 @@ impl RawChunk {
         self.first_index
     }
 
-    /// Size of the undecoded record bytes held by this frame.
+    /// Size of the undecoded frame payload held by this frame — the raw
+    /// record bytes under v2, the compressed column block under v3.
     pub fn byte_len(&self) -> usize {
         self.records.len()
     }
 
-    /// Verifies the frame checksum and parses the records into `out`
-    /// (cleared first) — stage two of the reader, safe to run on any
-    /// thread.
+    /// Verifies the frame checksum, then decompresses (v3) and parses the
+    /// records into `out` (cleared first) — stage two of the reader, safe
+    /// to run on any thread.
     ///
     /// # Errors
     ///
-    /// [`DecodeTraceError::ChunkChecksumMismatch`] when the record bytes do
-    /// not match the recorded frame checksum, or a record-level decode
+    /// [`DecodeTraceError::ChunkChecksumMismatch`] when the frame payload
+    /// does not match the recorded frame checksum, or a record-level decode
     /// error for malformed records.
     pub fn decode_into(&self, out: &mut Vec<MemAccess>) -> Result<(), TraceStreamError> {
         let mut fp = Fingerprinter::new();
@@ -516,13 +662,21 @@ impl RawChunk {
             }
             .into());
         }
-        out.clear();
-        out.reserve(self.len());
-        let mut records: &[u8] = &self.records;
-        for _ in 0..self.len() {
-            out.push(parse_access(&mut records)?);
+        match self.codec {
+            TraceCodec::V2 => {
+                out.clear();
+                out.reserve(self.count);
+                let mut records: &[u8] = &self.records;
+                for _ in 0..self.count {
+                    out.push(parse_access(&mut records)?);
+                }
+                Ok(())
+            }
+            TraceCodec::V3 => {
+                columnar::decode_columns(&self.records, self.count, self.chunk_index, out)
+                    .map_err(Into::into)
+            }
         }
-        Ok(())
     }
 }
 
@@ -553,6 +707,9 @@ pub trait RawFrameSource: TraceSource {
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     src: R,
+    /// Payload codec the envelope declared; frames are read and decoded
+    /// accordingly.
+    codec: TraceCodec,
     meta: TraceMeta,
     total: u64,
     chunk_len: usize,
@@ -583,18 +740,19 @@ impl<R: Read> TraceReader<R> {
         let mut header = [0u8; HEADER_LEN];
         read_exact_or_truncated(&mut src, &mut header, "header")?;
         let blob_header = blob::parse_header(&header)?;
-        if blob_header.codec_version != TRACE_CHUNKED_CODEC_VERSION {
+        let Some(codec) = TraceCodec::from_version(blob_header.codec_version) else {
             return Err(BlobError::CodecVersionMismatch {
                 found: blob_header.codec_version,
                 expected: TRACE_CHUNKED_CODEC_VERSION,
             }
             .into());
-        }
+        };
         if blob_header.key != expected_key {
             return Err(BlobError::KeyMismatch.into());
         }
         let mut reader = TraceReader {
             src,
+            codec,
             meta: TraceMeta::default(),
             total: 0,
             chunk_len: 0,
@@ -614,16 +772,35 @@ impl<R: Read> TraceReader<R> {
         if (reader.chunk_len == 0 && reader.total > 0) || reader.chunk_len > MAX_CHUNK_LEN {
             return Err(DecodeTraceError::BadChunkFraming { chunk: 0 }.into());
         }
-        // The declared payload length must be exactly what this header
-        // implies; a mismatch (or an overflowing implied length) is a
-        // vandalized length field.
-        let expected = chunked_payload_len(
-            reader.meta.workload.len(),
-            reader.total,
-            reader.chunk_len.max(1),
-        );
-        if expected != Some(blob_header.payload_len) {
-            return Err(BlobError::Truncated { what: "payload" }.into());
+        match codec {
+            // v2's payload length is implied exactly by the header fields;
+            // any mismatch (or an overflowing implied length) is a
+            // vandalized length field.
+            TraceCodec::V2 => {
+                let expected = chunked_payload_len(
+                    reader.meta.workload.len(),
+                    reader.total,
+                    reader.chunk_len.max(1),
+                );
+                if expected != Some(blob_header.payload_len) {
+                    return Err(BlobError::Truncated { what: "payload" }.into());
+                }
+            }
+            // v3 payload lengths are data-dependent, but a well-formed
+            // stream can never be shorter than its frame headers alone —
+            // so a vandalized total still fails closed here, before any
+            // frame-sized allocation.
+            TraceCodec::V3 => {
+                let min = chunk_count(reader.total, reader.chunk_len.max(1))
+                    .checked_mul(V3_FRAME_HEADER as u64)
+                    .and_then(|frames| {
+                        (payload_header_len(reader.meta.workload.len()) as u64).checked_add(frames)
+                    });
+                match min {
+                    Some(min) if blob_header.payload_len >= min => {}
+                    _ => return Err(BlobError::Truncated { what: "payload" }.into()),
+                }
+            }
         }
         Ok(reader)
     }
@@ -720,23 +897,52 @@ impl<R: Read> TraceReader<R> {
             return Ok(None);
         }
         let expected = (self.total - self.read_accesses).min(self.chunk_len as u64);
-        let mut frame = [0u8; 4 + 8];
-        self.read_payload(&mut frame, "chunk frame")?;
-        let count = u32::from_be_bytes(frame[0..4].try_into().expect("4 bytes")) as u64;
-        let recorded = u64::from_be_bytes(frame[4..12].try_into().expect("8 bytes"));
-        if count != expected {
-            return Err(DecodeTraceError::BadChunkFraming {
-                chunk: self.chunk_index,
+        let (count, recorded) = match self.codec {
+            TraceCodec::V2 => {
+                let mut frame = [0u8; V2_FRAME_HEADER];
+                self.read_payload(&mut frame, "chunk frame")?;
+                let count = u32::from_be_bytes(frame[0..4].try_into().expect("4 bytes")) as u64;
+                let recorded = u64::from_be_bytes(frame[4..12].try_into().expect("8 bytes"));
+                if count != expected {
+                    return Err(DecodeTraceError::BadChunkFraming {
+                        chunk: self.chunk_index,
+                    }
+                    .into());
+                }
+                records.clear();
+                records.resize(count as usize * ACCESS_RECORD_BYTES, 0);
+                (count, recorded)
             }
-            .into());
-        }
-        records.clear();
-        records.resize(count as usize * ACCESS_RECORD_BYTES, 0);
+            TraceCodec::V3 => {
+                let mut frame = [0u8; V3_FRAME_HEADER];
+                self.read_payload(&mut frame, "chunk frame")?;
+                let count = u32::from_be_bytes(frame[0..4].try_into().expect("4 bytes")) as u64;
+                let comp_len =
+                    u32::from_be_bytes(frame[4..8].try_into().expect("4 bytes")) as usize;
+                let recorded = u64::from_be_bytes(frame[8..16].try_into().expect("8 bytes"));
+                // The compressed length is untrusted: bound it by the
+                // worst-case column encoding of `expected` records before
+                // allocating, mirroring how v2's count is bounded.
+                if count != expected
+                    || comp_len > expected as usize * columnar::MAX_ENCODED_RECORD_BYTES
+                {
+                    return Err(DecodeTraceError::BadChunkFraming {
+                        chunk: self.chunk_index,
+                    }
+                    .into());
+                }
+                records.clear();
+                records.resize(comp_len, 0);
+                (count, recorded)
+            }
+        };
         self.read_payload(&mut records, "chunk records")?;
         let raw = RawChunk {
             first_index: self.read_accesses,
             chunk_index: self.chunk_index,
             checksum: recorded,
+            codec: self.codec,
+            count: count as usize,
             records,
         };
         self.read_accesses += count;
@@ -802,14 +1008,39 @@ fn read_exact_or_truncated(
     })
 }
 
-/// Seals a materialized trace with the chunk-framed codec (the in-memory
-/// convenience over [`ChunkedTraceWriter`]; the disk tier streams instead).
+/// Seals a materialized trace with the chunk-framed **v2** row codec (the
+/// in-memory convenience over [`ChunkedTraceWriter`]; the disk tier streams
+/// instead). Stays pinned to v2 because its byte layout is what
+/// compatibility tests and older-build cache files rely on; use
+/// [`encode_chunked_with`] to pick the codec.
 pub fn encode_chunked(trace: &Trace, key: Fingerprint, chunk_len: usize) -> Vec<u8> {
-    let mut writer =
-        ChunkedTraceWriter::new(Vec::new(), key, trace.meta(), trace.len() as u64, chunk_len)
-            .expect("Vec sink cannot fail");
-    writer.push(trace.accesses()).expect("Vec sink cannot fail");
-    writer.finish().expect("declared count matches")
+    encode_chunked_with(trace, key, chunk_len, TraceCodec::V2)
+}
+
+/// Seals a materialized trace with the chunk-framed codec of choice (the
+/// in-memory convenience over [`ChunkedTraceWriter::with_codec`]).
+pub fn encode_chunked_with(
+    trace: &Trace,
+    key: Fingerprint,
+    chunk_len: usize,
+    codec: TraceCodec,
+) -> Vec<u8> {
+    let mut writer = ChunkedTraceWriter::with_codec(
+        io::Cursor::new(Vec::new()),
+        key,
+        trace.meta(),
+        trace.len() as u64,
+        chunk_len,
+        codec,
+    )
+    .expect("in-memory sink cannot fail");
+    writer
+        .push(trace.accesses())
+        .expect("in-memory sink cannot fail");
+    writer
+        .finish()
+        .expect("declared count matches")
+        .into_inner()
 }
 
 /// Opens and fully decodes a sealed chunk-framed trace (the in-memory
@@ -895,28 +1126,39 @@ mod tests {
         let t = sample_trace(500);
         let reference = encode_chunked(&t, key(), 128);
         // Push in awkward slices: 1, then 200, then the rest one by one.
-        let mut writer =
-            ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), t.len() as u64, 128).unwrap();
+        let mut writer = ChunkedTraceWriter::new(
+            io::Cursor::new(Vec::new()),
+            key(),
+            t.meta(),
+            t.len() as u64,
+            128,
+        )
+        .unwrap();
         let all = t.accesses();
         writer.push(&all[..1]).unwrap();
         writer.push(&all[1..201]).unwrap();
         for a in &all[201..] {
             writer.push(std::slice::from_ref(a)).unwrap();
         }
-        let sealed = writer.finish().unwrap();
+        let sealed = writer.finish().unwrap().into_inner();
         assert_eq!(sealed, reference, "framing is independent of push slicing");
     }
 
     #[test]
     fn writer_enforces_the_declared_count() {
         let t = sample_trace(10);
-        let mut writer = ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), 11, 4).unwrap();
-        writer.push(t.accesses()).unwrap();
-        assert!(writer.finish().is_err(), "one access short");
+        for codec in [TraceCodec::V2, TraceCodec::V3] {
+            let sink = || io::Cursor::new(Vec::new());
+            let mut writer =
+                ChunkedTraceWriter::with_codec(sink(), key(), t.meta(), 11, 4, codec).unwrap();
+            writer.push(t.accesses()).unwrap();
+            assert!(writer.finish().is_err(), "one access short ({codec})");
 
-        let mut writer = ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), 9, 5).unwrap();
-        assert!(writer.push(t.accesses()).is_err(), "one access over");
-        assert!(ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), 10, 0).is_err());
+            let mut writer =
+                ChunkedTraceWriter::with_codec(sink(), key(), t.meta(), 9, 5, codec).unwrap();
+            assert!(writer.push(t.accesses()).is_err(), "one access over");
+            assert!(ChunkedTraceWriter::with_codec(sink(), key(), t.meta(), 10, 0, codec).is_err());
+        }
     }
 
     #[test]
@@ -1037,12 +1279,198 @@ mod tests {
         );
 
         // And the writer refuses to produce such framings in the first
-        // place.
+        // place, under either codec.
+        for codec in [TraceCodec::V2, TraceCodec::V3] {
+            let sink = || io::Cursor::new(Vec::new());
+            assert!(ChunkedTraceWriter::with_codec(
+                sink(),
+                key(),
+                t.meta(),
+                10,
+                MAX_CHUNK_LEN + 1,
+                codec
+            )
+            .is_err());
+            assert!(ChunkedTraceWriter::with_codec(
+                sink(),
+                key(),
+                t.meta(),
+                u64::MAX,
+                MAX_CHUNK_LEN,
+                codec
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn v3_round_trips_shrinks_and_reads_with_no_flag() {
+        let t = sample_trace(5000);
+        let v2 = encode_chunked_with(&t, key(), 256, TraceCodec::V2);
+        let v3 = encode_chunked_with(&t, key(), 256, TraceCodec::V3);
+        // The reader dispatches on the envelope version: both decode with
+        // the same call, no flag, to the same trace.
+        assert_eq!(decode_chunked(&v2, key()).unwrap(), t);
+        assert_eq!(decode_chunked(&v3, key()).unwrap(), t);
         assert!(
-            ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), 10, MAX_CHUNK_LEN + 1).is_err()
+            v3.len() * 2 <= v2.len(),
+            "columnar codec must at least halve this trace: v2={} v3={}",
+            v2.len(),
+            v3.len()
         );
+        // The patched envelope payload length is the real payload length.
+        let header = blob::parse_header(&v3).unwrap();
+        assert_eq!(
+            header.payload_len as usize,
+            v3.len() - HEADER_LEN - CHECKSUM_LEN
+        );
+        assert_eq!(header.codec_version, TRACE_COLUMNAR_CODEC_VERSION);
+    }
+
+    #[test]
+    fn v3_writer_reframes_arbitrary_push_slicings() {
+        let t = sample_trace(500);
+        let reference = encode_chunked_with(&t, key(), 128, TraceCodec::V3);
+        let mut writer = ChunkedTraceWriter::with_codec(
+            io::Cursor::new(Vec::new()),
+            key(),
+            t.meta(),
+            t.len() as u64,
+            128,
+            TraceCodec::V3,
+        )
+        .unwrap();
+        let all = t.accesses();
+        writer.push(&all[..7]).unwrap();
+        writer.push(&all[7..300]).unwrap();
+        for a in &all[300..] {
+            writer.push(std::slice::from_ref(a)).unwrap();
+        }
+        let sealed = writer.finish().unwrap().into_inner();
+        assert_eq!(sealed, reference, "framing is independent of push slicing");
+    }
+
+    #[test]
+    fn v3_empty_trace_round_trips() {
+        let t = Trace::new(TraceMeta {
+            workload: "empty".into(),
+            ..Default::default()
+        });
+        let sealed = encode_chunked_with(&t, key(), 16, TraceCodec::V3);
+        assert_eq!(decode_chunked(&sealed, key()).unwrap(), t);
+    }
+
+    #[test]
+    fn unknown_codec_versions_are_rejected() {
+        let t = sample_trace(20);
+        let future = blob::seal(9, key(), &t.encode());
+        match decode_chunked(&future, key()) {
+            Err(TraceStreamError::Envelope(BlobError::CodecVersionMismatch {
+                found: 9,
+                expected: TRACE_CHUNKED_CODEC_VERSION,
+            })) => {}
+            other => panic!("expected codec mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_corrupt_compressed_column_fails_the_frame_checksum_in_order() {
+        let t = sample_trace(300);
+        let sealed = encode_chunked_with(&t, key(), 64, TraceCodec::V3);
+        // Walk the variable-length frames to the third one and flip a byte
+        // in the middle of its compressed column block.
+        let mut at = HEADER_LEN + payload_header_len("stream-unit".len());
+        for _ in 0..2 {
+            let comp_len = u32::from_be_bytes(sealed[at + 4..at + 8].try_into().unwrap()) as usize;
+            at += V3_FRAME_HEADER + comp_len;
+        }
+        let comp_len = u32::from_be_bytes(sealed[at + 4..at + 8].try_into().unwrap()) as usize;
+        let mut bad = sealed.clone();
+        bad[at + V3_FRAME_HEADER + comp_len / 2] ^= 0x01;
+        let mut reader = TraceReader::new(io::Cursor::new(&bad), key()).unwrap();
+        let mut yielded = 0u64;
+        let err = loop {
+            match reader.next_chunk() {
+                Ok(Some(chunk)) => yielded += chunk.accesses.len() as u64,
+                Ok(None) => panic!("corruption must surface"),
+                Err(err) => break err,
+            }
+        };
+        assert_eq!(yielded, 128, "only the intact chunks were yielded");
         assert!(
-            ChunkedTraceWriter::new(Vec::new(), key(), t.meta(), u64::MAX, MAX_CHUNK_LEN).is_err()
+            matches!(
+                err,
+                TraceStreamError::Trace(DecodeTraceError::ChunkChecksumMismatch { chunk: 2 })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn v3_truncated_and_padded_streams_fail_closed() {
+        let t = sample_trace(100);
+        let sealed = encode_chunked_with(&t, key(), 32, TraceCodec::V3);
+        for cut in [
+            HEADER_LEN - 1,
+            HEADER_LEN + 5,
+            sealed.len() - 9,
+            sealed.len() - 1,
+        ] {
+            let result = TraceReader::new(io::Cursor::new(&sealed[..cut]), key())
+                .and_then(|mut reader| collect_trace(&mut reader));
+            assert!(
+                matches!(
+                    result,
+                    Err(TraceStreamError::Envelope(BlobError::Truncated { .. }))
+                ),
+                "cut at {cut}: {result:?}"
+            );
+        }
+        let mut long = sealed.clone();
+        long.push(0);
+        let result = TraceReader::new(io::Cursor::new(&long), key())
+            .and_then(|mut reader| collect_trace(&mut reader));
+        assert!(
+            matches!(
+                result,
+                Err(TraceStreamError::Envelope(BlobError::TrailingData))
+            ),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn v3_vandalized_frame_length_fails_before_allocation() {
+        let t = sample_trace(100);
+        let sealed = encode_chunked_with(&t, key(), 32, TraceCodec::V3);
+        // Blow up the first frame's compressed length beyond the worst-case
+        // bound: rejected as framing corruption, not attempted as a
+        // gigantic read.
+        let frame_at = HEADER_LEN + payload_header_len("stream-unit".len());
+        let mut bad = sealed.clone();
+        bad[frame_at + 4..frame_at + 8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut reader = TraceReader::new(io::Cursor::new(&bad), key()).unwrap();
+        let result = reader.next_chunk();
+        assert!(
+            matches!(
+                result,
+                Err(TraceStreamError::Trace(DecodeTraceError::BadChunkFraming {
+                    chunk: 0
+                }))
+            ),
+            "{result:?}"
+        );
+        // A vandalized total fails the minimum-length check cleanly.
+        let total_at = HEADER_LEN + 4 + 2 + 11 + 2 + 8 + 8;
+        let mut bad = sealed.clone();
+        bad[total_at..total_at + 8].copy_from_slice(&u64::MAX.to_be_bytes());
+        let result = TraceReader::new(io::Cursor::new(&bad), key());
+        assert!(
+            matches!(
+                result,
+                Err(TraceStreamError::Envelope(BlobError::Truncated { .. }))
+            ),
+            "{result:?}"
         );
     }
 
@@ -1083,6 +1511,10 @@ mod tests {
             // Cross-codec identity: decoding the chunked stream and decoding
             // the whole-trace codec agree byte for byte on re-encode.
             prop_assert_eq!(back.encode(), Trace::decode(&t.encode()).unwrap().encode());
+            // v2 ↔ v3 cross-decode equality: the columnar codec over the
+            // same trace and chunking decodes to the identical trace.
+            let columnar = encode_chunked_with(&t, key(), chunk_len, TraceCodec::V3);
+            prop_assert_eq!(decode_chunked(&columnar, key()).unwrap(), back);
         }
 
         /// Record-level byte identity: the concatenated record bytes of the

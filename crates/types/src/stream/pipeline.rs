@@ -949,6 +949,65 @@ mod tests {
     }
 
     #[test]
+    fn v3_frames_decompress_on_workers_and_round_trip_at_every_depth() {
+        // Columnar frames go through the same pipeline: the decompression
+        // runs inside RawChunk::decode_into on the decode workers, and the
+        // result is bit-identical to the serial and v2 paths.
+        let t = sample_trace(777);
+        let sealed =
+            crate::stream::encode_chunked_with(&t, key(), 50, crate::stream::TraceCodec::V3);
+        for config in configs() {
+            let mut reader = TraceReader::new(Cursor::new(&sealed), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (got, _) = pipeline.run(|source| collect_trace(source).unwrap());
+            assert_eq!(got, t, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn v3_mid_stream_corruption_surfaces_in_order_under_the_pipeline() {
+        let t = sample_trace(300);
+        let sealed =
+            crate::stream::encode_chunked_with(&t, key(), 64, crate::stream::TraceCodec::V3);
+        // Walk the variable-length frames to the third one and flip a byte
+        // inside its compressed column block.
+        let mut at = crate::blob::HEADER_LEN + super::super::payload_header_len("pipe-unit".len());
+        for _ in 0..2 {
+            let comp_len = u32::from_be_bytes(sealed[at + 4..at + 8].try_into().unwrap()) as usize;
+            at += 16 + comp_len;
+        }
+        let comp_len = u32::from_be_bytes(sealed[at + 4..at + 8].try_into().unwrap()) as usize;
+        let mut bad = sealed.clone();
+        bad[at + 16 + comp_len / 2] ^= 0x01;
+        for config in configs() {
+            let mut reader = TraceReader::new(Cursor::new(&bad), key()).unwrap();
+            let pipeline = ChunkPipeline::new(PipelineInput::Frames(&mut reader), config);
+            let (outcome, _) = pipeline.run(|source| {
+                let mut yielded = 0u64;
+                loop {
+                    match source.next_chunk() {
+                        Ok(Some(chunk)) => yielded += chunk.accesses.len() as u64,
+                        Ok(None) => panic!("corruption must surface"),
+                        Err(err) => break (yielded, err),
+                    }
+                }
+            });
+            let (yielded, err) = outcome;
+            assert_eq!(
+                yielded, 128,
+                "both intact chunks precede the error: {config:?}"
+            );
+            assert!(
+                matches!(
+                    err,
+                    TraceStreamError::Trace(DecodeTraceError::ChunkChecksumMismatch { chunk: 2 })
+                ),
+                "{config:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_trace_yields_immediate_end() {
         let t = Trace::new(TraceMeta {
             workload: "empty".into(),

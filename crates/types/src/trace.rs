@@ -139,22 +139,43 @@ impl std::error::Error for DecodeTraceError {}
 
 const TRACE_MAGIC: u32 = 0x53_54_4d_53; // "STMS"
 
-/// Size in bytes of one encoded access record. Shared by the whole-trace
-/// codec below and the chunk-framed codec in [`crate::stream`], which is
-/// what keeps the two encodings byte-for-byte identical at the record level
-/// (and makes chunked payload sizes computable up front).
-pub(crate) const ACCESS_RECORD_BYTES: usize = 2 + 8 + 1 + 4;
+/// Size in bytes of one encoded access record (row layout: core, line,
+/// flags, gap). Shared by the whole-trace codec below and the chunk-framed
+/// codec v2 in [`crate::stream`], which is what keeps the two encodings
+/// byte-for-byte identical at the record level (and makes chunked payload
+/// sizes computable up front). The columnar codec v3 stores the same fields
+/// re-laid-out per column, so this is also its *decoded* size per record —
+/// the unit the in-flight byte budget accounts in.
+pub const ACCESS_RECORD_BYTES: usize = 2 + 8 + 1 + 4;
 
-/// Appends the canonical big-endian encoding of one access record.
-pub(crate) fn put_access(out: &mut Vec<u8>, a: &MemAccess) {
-    out.extend_from_slice(&(a.core.index() as u16).to_be_bytes());
-    out.extend_from_slice(&a.line.raw().to_be_bytes());
+/// The canonical flag byte of an access: the kind tag in the low bits, the
+/// dependence marker in the top bit. Shared by the row codecs and the v3
+/// columnar kind column.
+pub(crate) fn access_flags(a: &MemAccess) -> u8 {
     let kind = match a.kind {
         AccessKind::Read => 0u8,
         AccessKind::Write => 1,
         AccessKind::InstrFetch => 2,
     };
-    out.push(kind | if a.dependent { 0x80 } else { 0 });
+    kind | if a.dependent { 0x80 } else { 0 }
+}
+
+/// Decodes a flag byte back into its kind and dependence marker.
+pub(crate) fn parse_flags(flags: u8) -> Result<(AccessKind, bool), DecodeTraceError> {
+    let kind = match flags & 0x7f {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::InstrFetch,
+        tag => return Err(DecodeTraceError::InvalidAccessKind { tag }),
+    };
+    Ok((kind, flags & 0x80 != 0))
+}
+
+/// Appends the canonical big-endian encoding of one access record.
+pub(crate) fn put_access(out: &mut Vec<u8>, a: &MemAccess) {
+    out.extend_from_slice(&(a.core.index() as u16).to_be_bytes());
+    out.extend_from_slice(&a.line.raw().to_be_bytes());
+    out.push(access_flags(a));
     out.extend_from_slice(&a.compute_gap.to_be_bytes());
 }
 
@@ -167,20 +188,14 @@ pub(crate) fn parse_access(data: &mut &[u8]) -> Result<MemAccess, DecodeTraceErr
     }
     let core = CoreId::new(data.get_u16());
     let line = LineAddr::new(data.get_u64());
-    let flags = data.get_u8();
-    let kind = match flags & 0x7f {
-        0 => AccessKind::Read,
-        1 => AccessKind::Write,
-        2 => AccessKind::InstrFetch,
-        tag => return Err(DecodeTraceError::InvalidAccessKind { tag }),
-    };
+    let (kind, dependent) = parse_flags(data.get_u8())?;
     let compute_gap = data.get_u32();
     Ok(MemAccess {
         core,
         line,
         kind,
         compute_gap,
-        dependent: flags & 0x80 != 0,
+        dependent,
     })
 }
 
