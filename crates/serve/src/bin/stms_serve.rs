@@ -1,0 +1,192 @@
+//! The resident campaign daemon.
+//!
+//! ```text
+//! stms-serve --socket PATH [--quick] [--accesses N] [--threads N]
+//!            [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
+//!            [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
+//!            [--trace-codec v2|v3]
+//!            [--max-active N] [--max-queue N] [--read-timeout-ms MS]
+//! ```
+//!
+//! Binds the Unix socket, keeps one campaign (trace store, result memo,
+//! job pool, in-flight dedup) alive across requests, and serves until
+//! `SIGTERM`/`SIGINT` or a client sends the `Shutdown` request. On exit it
+//! prints a `serve:` report plus the cache counters to stderr and removes
+//! the socket file.
+//!
+//! The experiment-model flags (`--quick`, `--accesses`, cache and
+//! streaming flags) mean exactly what they mean on `stms-experiments`; a
+//! daemon and a one-shot run configured alike produce byte-identical
+//! figure bytes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use stms_serve::{ServeConfig, Server};
+use stms_sim::ExperimentConfig;
+use stms_stats::RunSummary;
+
+/// Flipped by the signal handler; the accept loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::Release);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM through the libc `signal`
+/// entry point (no external crates; `std` links libc on unix).
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: stms-serve --socket PATH [--quick] [--accesses N] [--threads N]\n\
+     \x20                 [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
+     \x20                 [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
+     \x20                 [--trace-codec v2|v3]\n\
+     \x20                 [--max-active N] [--max-queue N] [--read-timeout-ms MS]"
+}
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut cfg = ExperimentConfig::scaled();
+    let mut accesses: Option<usize> = None;
+    let mut config = ServeConfig::new(PathBuf::new(), cfg.clone());
+    let mut decode_threads: Option<usize> = None;
+
+    let mut i = 0;
+    let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    let number_of = |i: &mut usize, flag: &str| -> Result<usize, String> {
+        let v = value_of(i, flag)?;
+        v.parse()
+            .map_err(|_| format!("{flag} requires a number, got `{v}`"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => socket = Some(value_of(&mut i, "--socket")?.into()),
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--accesses" => {
+                let n = number_of(&mut i, "--accesses")?;
+                if n == 0 {
+                    return Err("--accesses must be non-zero".into());
+                }
+                accesses = Some(n);
+            }
+            "--threads" => {
+                config.threads = number_of(&mut i, "--threads")?;
+                if config.threads == 0 {
+                    return Err("--threads must be non-zero".into());
+                }
+            }
+            "--trace-cache" => {
+                config.caches.trace_dir = Some(value_of(&mut i, "--trace-cache")?.into());
+            }
+            "--result-cache" => {
+                config.caches.result_dir = Some(value_of(&mut i, "--result-cache")?.into());
+            }
+            "--cache-verify" => config.caches.verify = true,
+            "--stream-traces" => config.caches.stream_traces = true,
+            "--replay-pipeline" => {
+                let depth = number_of(&mut i, "--replay-pipeline")?;
+                if depth < 2 {
+                    return Err(format!(
+                        "--replay-pipeline depth must be at least 2, got {depth}"
+                    ));
+                }
+                config.caches.pipeline_depth = depth;
+            }
+            "--decode-threads" => {
+                let n = number_of(&mut i, "--decode-threads")?;
+                if n == 0 {
+                    return Err("--decode-threads must be non-zero".into());
+                }
+                decode_threads = Some(n);
+            }
+            "--trace-codec" => {
+                let v = value_of(&mut i, "--trace-codec")?;
+                config.caches.trace_codec = match v.as_str() {
+                    "v2" => stms_types::TraceCodec::V2,
+                    "v3" => stms_types::TraceCodec::V3,
+                    other => return Err(format!("--trace-codec must be v2 or v3, got `{other}`")),
+                };
+            }
+            "--max-active" => {
+                config.max_active = number_of(&mut i, "--max-active")?;
+                if config.max_active == 0 {
+                    return Err("--max-active must be non-zero".into());
+                }
+            }
+            "--max-queue" => config.max_queue = number_of(&mut i, "--max-queue")?,
+            "--read-timeout-ms" => {
+                let ms = number_of(&mut i, "--read-timeout-ms")?;
+                if ms == 0 {
+                    return Err("--read-timeout-ms must be non-zero".into());
+                }
+                config.read_timeout = Duration::from_millis(ms as u64);
+                config.write_timeout = Duration::from_millis(ms as u64);
+            }
+            flag => return Err(format!("unknown flag `{flag}`")),
+        }
+        i += 1;
+    }
+    let Some(socket) = socket else {
+        return Err("--socket PATH is required".into());
+    };
+    if let Some(n) = accesses {
+        cfg = cfg.with_accesses(n);
+    }
+    cfg.sim.validate().map_err(|e| e.to_string())?;
+    if let Some(n) = decode_threads {
+        if config.caches.pipeline_depth == 0 {
+            return Err("--decode-threads is only meaningful with --replay-pipeline DEPTH".into());
+        }
+        config.caches.decode_threads = n;
+    }
+    config.socket = socket;
+    config.cfg = cfg;
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    install_signal_handlers();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind serving socket: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("serving on {}", server.socket_path().display());
+    let report = server.run_until(|| STOP.load(Ordering::Acquire));
+    let mut summary = RunSummary::new();
+    summary.push_serve(report);
+    stms_sim::campaign::push_cache_reports(&mut summary, server.campaign());
+    eprint!("{}", summary.render());
+    ExitCode::SUCCESS
+}

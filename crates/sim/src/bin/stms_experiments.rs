@@ -96,10 +96,10 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use stms_sim::campaign::{Campaign, CampaignCaches, ShardSpec};
+use stms_sim::campaign::{push_cache_reports, Campaign, CampaignCaches, ShardSpec};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
-use stms_stats::{CacheReport, PipelineReport, RunSummary, StreamReport};
+use stms_stats::RunSummary;
 
 struct Options {
     cfg: ExperimentConfig,
@@ -353,57 +353,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     })
 }
 
-/// Appends one line per configured cache tier (plus the streamed-replay
-/// counters when `--stream-traces` is on) to the stderr `run summary:`
-/// block.
-fn push_cache_reports(summary: &mut RunSummary, campaign: &Campaign) {
-    let stats = campaign.cache_stats();
-    let trace = stats.trace;
-    if campaign.store().is_streaming() {
-        summary.push_stream(StreamReport {
-            replays: trace.stream_replays,
-            chunks: trace.stream_chunks,
-            fallbacks: trace.stream_fallbacks,
-            disk_bytes: trace.stream_disk_bytes,
-            decoded_bytes: trace.stream_decoded_bytes,
-        });
-    }
-    let pipeline = campaign.store().pipeline_config();
-    if !pipeline.is_serial() {
-        summary.push_pipeline(PipelineReport {
-            depth: pipeline.depth as u64,
-            decode_threads: pipeline.decode_threads as u64,
-            chunks_prefetched: trace.pipeline_chunks,
-            stalls_full: trace.pipeline_stalls_full,
-            stalls_empty: trace.pipeline_stalls_empty,
-            peak_bytes_in_flight: trace.pipeline_peak_bytes,
-        });
-    }
-    if campaign.store().disk_dir().is_some() {
-        summary.push(
-            CacheReport::new(
-                "trace cache",
-                trace.hits + trace.disk_hits,
-                trace.disk_misses,
-            )
-            .with_detail("generated", trace.generated)
-            .with_detail("disk hits", trace.disk_hits)
-            .with_detail("writes", trace.disk_writes)
-            .with_detail("evictions", trace.disk_evictions)
-            .with_detail("resident bytes", trace.disk_bytes),
-        );
-    }
-    if let Some(result) = stats.result {
-        summary.push(
-            CacheReport::new("result cache", result.total_hits(), result.misses)
-                .with_detail("replayed", result.misses)
-                .with_detail("disk hits", result.disk_hits)
-                .with_detail("stores", result.stores)
-                .with_detail("corrupt", result.corrupt),
-        );
-    }
-}
-
 /// Shared figure-output stage: prints text renders as they arrive, writes
 /// CSV files, and accumulates JSON items. Used identically by the streaming
 /// single-process path and the merge path, which is what keeps their stdout
@@ -424,6 +373,11 @@ impl<'a> FigureSink<'a> {
     }
 
     fn accept(&mut self, figure: Result<FigureResult, stms_sim::CampaignError>) {
+        if self.opts.format == Format::Json {
+            // The shared helper is also what the serve daemon uses, so a
+            // served document is byte-identical to this one by construction.
+            self.json_items.push(experiments::figure_json_item(&figure));
+        }
         match figure {
             Ok(result) => {
                 if self.opts.format == Format::Text {
@@ -441,25 +395,10 @@ impl<'a> FigureSink<'a> {
                         }
                     }
                 }
-                if self.opts.format == Format::Json {
-                    self.json_items.push(result.to_json());
-                }
             }
             Err(err) => {
                 eprintln!("error: {err}");
                 self.failed = true;
-                if self.opts.format == Format::Json {
-                    self.json_items.push(serde_json::Value::Object(vec![
-                        (
-                            "id".to_string(),
-                            serde_json::Value::from(err.figure.as_str()),
-                        ),
-                        (
-                            "error".to_string(),
-                            serde_json::Value::from(err.to_string()),
-                        ),
-                    ]));
-                }
             }
         }
     }
@@ -468,10 +407,7 @@ impl<'a> FigureSink<'a> {
     /// whether any figure failed.
     fn finish(self) -> bool {
         if self.opts.format == Format::Json {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&serde_json::Value::Array(self.json_items))
-            );
+            println!("{}", experiments::figures_json_document(self.json_items));
         }
         self.failed
     }

@@ -67,7 +67,8 @@ use crate::system::ExperimentConfig;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use stms_mem::CmpSimulator;
 use stms_prefetch::MissTraceCollector;
 use stms_types::{Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardManifest};
@@ -209,6 +210,13 @@ pub struct CampaignCaches {
     /// version-dispatched, so existing caches of either codec replay
     /// unchanged whatever this is set to.
     pub trace_codec: stms_types::TraceCodec,
+    /// Memoize job outputs in memory even when `result_dir` is `None`
+    /// (see [`ResultStore::in_memory`]). A long-lived server sets this so
+    /// repeated requests for the same cell never replay, and so in-flight
+    /// dedup has a tier to land completed outputs in; the one-shot CLI
+    /// leaves it off — a single batch already shares via the flight table.
+    /// Ignored when `result_dir` is set (the disk-backed store subsumes it).
+    pub result_memory: bool,
 }
 
 impl CampaignCaches {
@@ -238,13 +246,223 @@ pub struct CampaignCacheStats {
     pub result: Option<ResultStoreStats>,
 }
 
+/// Appends one line per configured cache tier (plus the streamed-replay and
+/// pipeline counters when those modes are on) to a stderr `run summary:`
+/// block. Shared by the `stms-experiments` and `stms-serve` binaries so
+/// their accounting lines stay identical.
+pub fn push_cache_reports(summary: &mut stms_stats::RunSummary, campaign: &Campaign) {
+    use stms_stats::{CacheReport, PipelineReport, StreamReport};
+    let stats = campaign.cache_stats();
+    let trace = stats.trace;
+    if campaign.store().is_streaming() {
+        summary.push_stream(StreamReport {
+            replays: trace.stream_replays,
+            chunks: trace.stream_chunks,
+            fallbacks: trace.stream_fallbacks,
+            disk_bytes: trace.stream_disk_bytes,
+            decoded_bytes: trace.stream_decoded_bytes,
+        });
+    }
+    let pipeline = campaign.store().pipeline_config();
+    if !pipeline.is_serial() {
+        summary.push_pipeline(PipelineReport {
+            depth: pipeline.depth as u64,
+            decode_threads: pipeline.decode_threads as u64,
+            chunks_prefetched: trace.pipeline_chunks,
+            stalls_full: trace.pipeline_stalls_full,
+            stalls_empty: trace.pipeline_stalls_empty,
+            peak_bytes_in_flight: trace.pipeline_peak_bytes,
+        });
+    }
+    if campaign.store().disk_dir().is_some() {
+        summary.push(
+            CacheReport::new(
+                "trace cache",
+                trace.hits + trace.disk_hits,
+                trace.disk_misses,
+            )
+            .with_detail("generated", trace.generated)
+            .with_detail("disk hits", trace.disk_hits)
+            .with_detail("writes", trace.disk_writes)
+            .with_detail("evictions", trace.disk_evictions)
+            .with_detail("resident bytes", trace.disk_bytes),
+        );
+    }
+    if let Some(result) = stats.result {
+        summary.push(
+            CacheReport::new("result cache", result.total_hits(), result.misses)
+                .with_detail("replayed", result.misses)
+                .with_detail("disk hits", result.disk_hits)
+                .with_detail("stores", result.stores)
+                .with_detail("corrupt", result.corrupt),
+        );
+    }
+}
+
+/// A cooperative cancellation flag for an in-flight job batch.
+///
+/// Cancellation is *admission-level*: a job that has not started yet
+/// resolves to a `cancelled` [`JobError`] without touching the trace store
+/// or the engine, releasing its pool worker immediately; a job already
+/// simulating runs to completion (its output is still memoized and still
+/// feeds any concurrent duplicate via the flight table). Cloning shares the
+/// flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the token; every pending job sharing it is skipped.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// In-flight dedup counters (see [`Campaign::flight_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Jobs this campaign actually executed (flight leaders). With a result
+    /// memo configured this is exactly the number of *distinct* jobs that
+    /// ever ran, however many concurrent requests asked for them.
+    pub executed: u64,
+    /// Jobs that joined a concurrent leader's execution and shared its
+    /// output instead of replaying.
+    pub shared: u64,
+}
+
+/// The singleflight table: one slot per job fingerprint currently
+/// *executing* on a pool worker. Leadership is decided at execution time —
+/// never at submit time — so a follower only ever waits on a job that
+/// already holds a worker, which makes the wait deadlock-free under any
+/// pool size and queue order.
+#[derive(Debug, Default)]
+struct FlightTable {
+    slots: Mutex<HashMap<Fingerprint, Arc<FlightSlot>>>,
+    executed: AtomicU64,
+    shared: AtomicU64,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Box<JobOutput>),
+    /// The leader unwound (panicked) without an output; waiters retry.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
+        FlightSlot {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader resolves the slot; `None` means abandoned.
+    fn wait(&self) -> Option<JobOutput> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                FlightState::Done(output) => return Some(output.as_ref().clone()),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn resolve(&self, state: FlightState) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        self.cv.notify_all();
+    }
+}
+
+enum FlightRole {
+    Leader(Arc<FlightSlot>),
+    Follower(Arc<FlightSlot>),
+}
+
+impl FlightTable {
+    /// Joins the flight for `key`: the first executing job becomes the
+    /// leader, concurrent duplicates become followers of its slot.
+    fn join(&self, key: Fingerprint) -> FlightRole {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        match slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                FlightRole::Follower(Arc::clone(entry.get()))
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let slot = Arc::new(FlightSlot::new());
+                entry.insert(Arc::clone(&slot));
+                FlightRole::Leader(slot)
+            }
+        }
+    }
+
+    fn stats(&self) -> FlightStats {
+        FlightStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Clears a leader's slot on every exit path. Until [`FlightGuard::fill`]
+/// runs, dropping the guard (including during a panic unwind on the worker)
+/// marks the slot [`FlightState::Abandoned`] so followers wake up and
+/// retry instead of hanging.
+struct FlightGuard<'a> {
+    flights: &'a FlightTable,
+    key: Fingerprint,
+    slot: Arc<FlightSlot>,
+    filled: bool,
+}
+
+impl FlightGuard<'_> {
+    fn fill(&mut self, output: JobOutput) {
+        self.slot.resolve(FlightState::Done(Box::new(output)));
+        self.filled = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.flights
+            .slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.key);
+        if !self.filled {
+            self.slot.resolve(FlightState::Abandoned);
+        }
+    }
+}
+
 /// One experiment campaign: a configuration, a shared trace store, an
-/// optional persistent result memo, and a bounded job pool.
+/// optional persistent result memo, an in-flight dedup table, and a bounded
+/// job pool.
 #[derive(Debug)]
 pub struct Campaign {
     cfg: Arc<ExperimentConfig>,
     store: Arc<TraceStore>,
     results: Option<Arc<ResultStore>>,
+    flights: Arc<FlightTable>,
     pool: JobPool,
 }
 
@@ -314,12 +532,14 @@ impl Campaign {
         }
         let results = match &caches.result_dir {
             Some(dir) => Some(Arc::new(ResultStore::open(dir)?.with_verify(caches.verify))),
+            None if caches.result_memory => Some(Arc::new(ResultStore::in_memory())),
             None => None,
         };
         Ok(Campaign {
             cfg: Arc::new(cfg),
             store: Arc::new(store),
             results,
+            flights: Arc::new(FlightTable::default()),
             pool: JobPool::new(threads),
         })
     }
@@ -348,6 +568,15 @@ impl Campaign {
         }
     }
 
+    /// In-flight dedup counters: how many jobs this campaign executed as
+    /// singleflight leaders and how many joined a concurrent execution
+    /// instead. `executed` is the exactly-once proof a serving test asserts
+    /// on: with a result memo configured it cannot exceed the number of
+    /// distinct jobs ever requested.
+    pub fn flight_stats(&self) -> FlightStats {
+        self.flights.stats()
+    }
+
     /// Number of pool workers.
     pub fn threads(&self) -> usize {
         self.pool.threads()
@@ -369,7 +598,7 @@ impl Campaign {
         jobs: Vec<JobSpec>,
         idents: Vec<(String, Fingerprint)>,
     ) -> Vec<Result<JobOutput, JobError>> {
-        self.submit_jobs(jobs)
+        self.submit_jobs(jobs, None)
             .run_to_completion()
             .into_iter()
             .zip(&idents)
@@ -385,15 +614,27 @@ impl Campaign {
     }
 
     /// Enqueues a batch without waiting (the streaming primitive behind
-    /// [`Campaign::run_figures`]).
-    fn submit_jobs(&self, jobs: Vec<JobSpec>) -> BatchHandle<JobOutput> {
+    /// [`Campaign::run_figures`]). A task resolves to `None` only when
+    /// `cancel` fired before it reached a worker.
+    fn submit_jobs(
+        &self,
+        jobs: Vec<JobSpec>,
+        cancel: Option<&CancelToken>,
+    ) -> BatchHandle<Option<JobOutput>> {
         let tasks: Vec<_> = jobs
             .into_iter()
             .map(|job| {
                 let cfg = Arc::clone(&self.cfg);
                 let store = Arc::clone(&self.store);
                 let results = self.results.clone();
-                move || execute_job(&cfg, &store, results.as_deref(), job)
+                let flights = Arc::clone(&self.flights);
+                let cancel = cancel.cloned();
+                move || {
+                    if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        return None;
+                    }
+                    Some(execute_job(&cfg, &store, results.as_deref(), &flights, job))
+                }
             })
             .collect();
         self.pool.submit_batch(tasks)
@@ -476,8 +717,38 @@ impl Campaign {
     /// Streaming changes time-to-first-table, never content or order: a
     /// driver that prints each emitted figure produces stdout byte-identical
     /// to collecting everything first.
-    pub fn run_figures_streaming<F>(&self, plans: Vec<FigurePlan>, mut emit: F)
+    pub fn run_figures_streaming<F>(&self, plans: Vec<FigurePlan>, emit: F)
     where
+        F: FnMut(Result<FigureResult, CampaignError>),
+    {
+        self.run_figures_streaming_inner(plans, None, emit);
+    }
+
+    /// [`Campaign::run_figures_streaming`] with a cancellation token: a
+    /// server hands each request its own token and fires it when the client
+    /// goes away. Jobs that have not reached a worker yet resolve to a
+    /// `cancelled` [`JobError`] without simulating (their figures emit as
+    /// [`CampaignError`]s), so the pool drains in moments; jobs already
+    /// executing finish normally and their outputs still land in the memo
+    /// and the flight table for everyone else. Emission order and content
+    /// for *un*-cancelled figures are identical to the plain call.
+    pub fn run_figures_streaming_cancellable<F>(
+        &self,
+        plans: Vec<FigurePlan>,
+        cancel: &CancelToken,
+        emit: F,
+    ) where
+        F: FnMut(Result<FigureResult, CampaignError>),
+    {
+        self.run_figures_streaming_inner(plans, Some(cancel), emit);
+    }
+
+    fn run_figures_streaming_inner<F>(
+        &self,
+        plans: Vec<FigurePlan>,
+        cancel: Option<&CancelToken>,
+        mut emit: F,
+    ) where
         F: FnMut(Result<FigureResult, CampaignError>),
     {
         let (jobs, parts) = flatten_plans(plans);
@@ -490,7 +761,7 @@ impl Campaign {
         let mut outstanding: Vec<usize> = parts.iter().map(|p| p.range.len()).collect();
         let mut parts: Vec<Option<FigurePart>> = parts.into_iter().map(Some).collect();
         let idents = self.job_idents(&jobs);
-        let handle = self.submit_jobs(jobs);
+        let handle = self.submit_jobs(jobs, cancel);
         let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
             (0..idents.len()).map(|_| None).collect();
 
@@ -838,17 +1109,26 @@ impl ShardRun {
 }
 
 /// Converts one pool outcome into the campaign's per-job result, attaching
-/// the job's label and stable fingerprint to a captured panic.
+/// the job's label and stable fingerprint to a captured panic or an
+/// admission-level cancellation (`Ok(None)`).
 fn job_outcome(
     ident: &(String, Fingerprint),
-    outcome: Result<JobOutput, JobPanic>,
+    outcome: Result<Option<JobOutput>, JobPanic>,
 ) -> Result<JobOutput, JobError> {
     let (label, fingerprint) = ident;
-    outcome.map_err(|panic| JobError {
-        job: label.clone(),
-        fingerprint: Some(*fingerprint),
-        message: panic.message().to_string(),
-    })
+    match outcome {
+        Ok(Some(output)) => Ok(output),
+        Ok(None) => Err(JobError {
+            job: label.clone(),
+            fingerprint: Some(*fingerprint),
+            message: "cancelled before execution".to_string(),
+        }),
+        Err(panic) => Err(JobError {
+            job: label.clone(),
+            fingerprint: Some(*fingerprint),
+            message: panic.message().to_string(),
+        }),
+    }
 }
 
 /// One figure's slice of the flattened grid: its id, its job range, and its
@@ -928,10 +1208,23 @@ fn collect_sims(
         .collect()
 }
 
+/// Runs one job on the calling worker with in-flight dedup: the first
+/// worker to reach a given job fingerprint executes it (the *leader*);
+/// any worker reaching the same fingerprint while the leader runs waits on
+/// its slot and shares the output. Leadership is claimed here — at
+/// execution time, never at submit time — so a follower's wait is always
+/// bounded by a job that already holds a worker: no circular wait is
+/// possible regardless of pool size or queue order.
+///
+/// Exactly-once across *non-overlapping* executions is the result memo's
+/// job; the leader re-checks it after claiming the slot (double-checked
+/// locking against the table mutex), closing the window where a completed
+/// leader has removed its slot but a racer missed the memo before the put.
 fn execute_job(
     cfg: &ExperimentConfig,
     store: &TraceStore,
     results: Option<&ResultStore>,
+    flights: &FlightTable,
     job: JobSpec,
 ) -> JobOutput {
     // A memoized output short-circuits everything, including trace
@@ -942,7 +1235,51 @@ fn execute_job(
             return output;
         }
     }
-    let output = if store.is_streaming() {
+    let fingerprint = match &key {
+        Some((_, key)) => *key,
+        None => job_fingerprint(cfg, &job),
+    };
+    loop {
+        let slot = match flights.join(fingerprint) {
+            FlightRole::Follower(slot) => {
+                match slot.wait() {
+                    Some(output) => {
+                        flights.shared.fetch_add(1, Ordering::Relaxed);
+                        return output;
+                    }
+                    // The leader unwound without an output; take another
+                    // turn (this worker may now lead and fail the same way,
+                    // which is exactly the per-job error the caller expects).
+                    None => continue,
+                }
+            }
+            FlightRole::Leader(slot) => slot,
+        };
+        let mut guard = FlightGuard {
+            flights,
+            key: fingerprint,
+            slot,
+            filled: false,
+        };
+        if let Some((memo, key)) = &key {
+            if let Some(output) = memo.get(*key, cfg, &job) {
+                guard.fill(output.clone());
+                return output;
+            }
+        }
+        let output = run_job_uncached(cfg, store, &job);
+        if let Some((memo, key)) = &key {
+            memo.put(*key, &output);
+        }
+        flights.executed.fetch_add(1, Ordering::Relaxed);
+        guard.fill(output.clone());
+        return output;
+    }
+}
+
+/// The actual generate/replay work of one job, no caching layers involved.
+fn run_job_uncached(cfg: &ExperimentConfig, store: &TraceStore, job: &JobSpec) -> JobOutput {
+    if store.is_streaming() {
         // Out-of-core path: the job drives a chunked TraceSource (a
         // disk-tier reader, or the generator itself) and never holds the
         // trace; output is bit-identical to the materialized path.
@@ -970,11 +1307,7 @@ fn execute_job(
                 JobOutput::MissSequences(collector.all_cores())
             }
         }
-    };
-    if let Some((memo, key)) = key {
-        memo.put(key, &output);
     }
-    output
 }
 
 #[cfg(test)]
@@ -1021,6 +1354,122 @@ mod tests {
             .expect("no job fails");
         assert_eq!(seqs.len(), campaign.cfg().system.cores);
         assert!(seqs.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn concurrent_duplicate_batches_execute_each_distinct_job_once() {
+        // Four "clients" run the identical batch at the same time against
+        // one campaign with a memory memo: the flight table plus the memo
+        // must keep the execution count at exactly the distinct-job count.
+        let caches = CampaignCaches {
+            result_memory: true,
+            ..CampaignCaches::default()
+        };
+        let campaign = Campaign::with_caches(quick(), 4, caches).expect("no dirs to create");
+        let jobs = || {
+            vec![
+                JobSpec::replay(presets::web_apache(), PrefetcherKind::Baseline),
+                JobSpec::replay(presets::oltp_db2(), PrefetcherKind::Baseline),
+            ]
+        };
+        let clients = 4;
+        let outputs: Vec<Vec<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| scope.spawn(|| campaign.run_jobs(jobs())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for results in &outputs {
+            for result in results {
+                assert!(result.is_ok());
+            }
+        }
+        // Byte-identical outputs across clients.
+        let reference: Vec<_> = outputs[0]
+            .iter()
+            .map(|r| r.as_ref().unwrap().encode())
+            .collect();
+        for other in &outputs[1..] {
+            let encoded: Vec<_> = other.iter().map(|r| r.as_ref().unwrap().encode()).collect();
+            assert_eq!(encoded, reference);
+        }
+        let flights = campaign.flight_stats();
+        assert_eq!(flights.executed, 2, "each distinct job executes once");
+        let results = campaign.cache_stats().result.expect("memory memo");
+        assert_eq!(
+            results.total_hits() + flights.shared + flights.executed,
+            (clients * 2) as u64
+        );
+        assert_eq!(results.stores, 0, "memory-only memo writes no files");
+        assert_eq!(campaign.store().stats().generated, 2);
+    }
+
+    #[test]
+    fn cancelled_token_skips_pending_jobs_and_reports_them() {
+        let campaign = Campaign::with_threads(quick(), 1);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let plans = vec![crate::experiments::plan_table2(campaign.cfg())];
+        let mut results = Vec::new();
+        campaign.run_figures_streaming_cancellable(plans, &cancel, |figure| {
+            results.push(figure);
+        });
+        assert_eq!(results.len(), 1);
+        let err = results.pop().unwrap().expect_err("all jobs were skipped");
+        assert!(err
+            .failures
+            .iter()
+            .all(|f| f.message == "cancelled before execution"));
+        // Nothing was generated or replayed: the pool was reclaimed without
+        // touching the trace store.
+        assert_eq!(campaign.store().stats().generated, 0);
+        assert_eq!(campaign.flight_stats(), FlightStats::default());
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let campaign = Campaign::with_threads(quick(), 2);
+        let cancel = CancelToken::new();
+        let mut cancellable = Vec::new();
+        campaign.run_figures_streaming_cancellable(
+            vec![crate::experiments::plan_table1(campaign.cfg())],
+            &cancel,
+            |figure| cancellable.push(figure.expect("no job fails").render()),
+        );
+        let plain: Vec<String> = campaign
+            .run_figures(vec![crate::experiments::plan_table1(campaign.cfg())])
+            .into_iter()
+            .map(|figure| figure.expect("no job fails").render())
+            .collect();
+        assert_eq!(cancellable, plain);
+    }
+
+    #[test]
+    fn abandoned_flight_wakes_followers() {
+        // A leader that panics must not strand concurrent followers: they
+        // retry, lead themselves, and surface their own per-job error.
+        let flights = FlightTable::default();
+        let key = Fingerprint::from_raw(42);
+        let FlightRole::Leader(slot) = flights.join(key) else {
+            panic!("first join must lead");
+        };
+        let follower = {
+            let FlightRole::Follower(slot) = flights.join(key) else {
+                panic!("second join must follow");
+            };
+            slot
+        };
+        let waiter = std::thread::spawn(move || follower.wait());
+        // Simulate the leader unwinding: guard dropped without fill.
+        drop(FlightGuard {
+            flights: &flights,
+            key,
+            slot,
+            filled: false,
+        });
+        assert!(waiter.join().unwrap().is_none(), "follower must wake empty");
+        // The slot is gone; the next join leads again.
+        assert!(matches!(flights.join(key), FlightRole::Leader(_)));
     }
 
     #[test]

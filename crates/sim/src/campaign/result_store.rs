@@ -89,7 +89,7 @@ impl ResultStoreStats {
 /// fingerprints (see the module-level docs above).
 #[derive(Debug)]
 pub struct ResultStore {
-    dir: PathBuf,
+    dir: Option<PathBuf>,
     verify: bool,
     memory: Mutex<HashMap<Fingerprint, JobOutput>>,
     hits: AtomicU64,
@@ -110,7 +110,19 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultStore {
+        Ok(Self::with_dir(Some(dir)))
+    }
+
+    /// A memory-only store: the same memoization and the same counters, but
+    /// nothing ever touches disk. This is the dedup tier of a long-lived
+    /// server process — concurrent requests for the same job share one
+    /// execution even when no cache directory is configured.
+    pub fn in_memory() -> Self {
+        Self::with_dir(None)
+    }
+
+    fn with_dir(dir: Option<PathBuf>) -> Self {
+        ResultStore {
             dir,
             verify: false,
             memory: Mutex::new(HashMap::new()),
@@ -119,7 +131,7 @@ impl ResultStore {
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             stores: AtomicU64::new(0),
-        })
+        }
     }
 
     /// Returns a copy with deep verification enabled: a decoded output is
@@ -131,9 +143,10 @@ impl ResultStore {
         self
     }
 
-    /// The cache directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// The cache directory, or `None` for a [`ResultStore::in_memory`]
+    /// store.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
     }
 
     /// The stable cache key of one job under one campaign configuration
@@ -185,9 +198,10 @@ impl ResultStore {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, output.clone());
-        let path = self.result_path(key);
+        let Some(dir) = &self.dir else { return };
+        let path = result_path_in(dir, key);
         if super::trace_store::write_sealed(
-            &self.dir,
+            dir,
             &path,
             JOB_OUTPUT_CODEC_VERSION,
             key,
@@ -208,12 +222,8 @@ impl ResultStore {
         }
     }
 
-    fn result_path(&self, key: Fingerprint) -> PathBuf {
-        self.dir.join(format!(
-            "{RESULT_FILE_PREFIX}{}.{}",
-            key.to_hex(),
-            super::trace_store::CACHE_FILE_EXT
-        ))
+    fn result_path(&self, key: Fingerprint) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| result_path_in(dir, key))
     }
 
     fn load_from_disk(
@@ -222,7 +232,7 @@ impl ResultStore {
         cfg: &ExperimentConfig,
         job: &JobSpec,
     ) -> Option<JobOutput> {
-        let path = self.result_path(key);
+        let path = self.result_path(key)?;
         let payload = match super::trace_store::read_sealed(&path, JOB_OUTPUT_CODEC_VERSION, key) {
             Ok(Some(payload)) => payload,
             Ok(None) => return None, // plain cold miss
@@ -254,6 +264,14 @@ impl ResultStore {
 /// engine's *family* name, not the design-point label, so it cannot
 /// distinguish sweep points and is deliberately not checked; sweep points
 /// are separated by the key fingerprint itself.
+fn result_path_in(dir: &Path, key: Fingerprint) -> PathBuf {
+    dir.join(format!(
+        "{RESULT_FILE_PREFIX}{}.{}",
+        key.to_hex(),
+        super::trace_store::CACHE_FILE_EXT
+    ))
+}
+
 fn output_matches_job(output: &JobOutput, cfg: &ExperimentConfig, job: &JobSpec) -> bool {
     match (output, &job.task) {
         (JobOutput::Sim(result), super::job::JobTask::Replay(_)) => {
@@ -414,7 +432,7 @@ mod tests {
         let key = store.job_key(&cfg, &job);
         store.put(key, &sample_output(&job));
 
-        let path = store.result_path(key);
+        let path = store.result_path(key).expect("disk-backed store");
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
@@ -426,6 +444,23 @@ mod tests {
         assert_eq!((stats.corrupt, stats.misses), (1, 1));
         assert!(!path.is_file(), "corrupt entry must be evicted");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_store_memoizes_without_touching_disk() {
+        let cfg = ExperimentConfig::quick();
+        let job = JobSpec::replay(presets::web_apache(), PrefetcherKind::Baseline);
+        let store = ResultStore::in_memory();
+        assert!(store.dir().is_none());
+        let key = store.job_key(&cfg, &job);
+        assert!(store.get(key, &cfg, &job).is_none());
+        store.put(key, &sample_output(&job));
+        let hit = store.get(key, &cfg, &job).expect("memoized");
+        assert_eq!(hit.into_sim().cycles, 1234);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 0));
+        // A second in-memory store shares nothing: no hidden global state.
+        assert!(ResultStore::in_memory().get(key, &cfg, &job).is_none());
     }
 
     #[test]

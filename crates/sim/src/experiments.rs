@@ -168,6 +168,36 @@ impl FigureResult {
     }
 }
 
+/// The JSON item `--format json` emits for one figure outcome: the
+/// [`FigureResult::to_json`] object on success, `{"id", "error"}` on
+/// failure. The CLI sink and the serve daemon both build their documents
+/// from this helper, which is what keeps a served JSON response
+/// byte-identical to the one-shot CLI's stdout by construction.
+pub fn figure_json_item(
+    figure: &Result<FigureResult, crate::campaign::CampaignError>,
+) -> serde_json::Value {
+    match figure {
+        Ok(result) => result.to_json(),
+        Err(err) => serde_json::Value::Object(vec![
+            (
+                "id".to_string(),
+                serde_json::Value::from(err.figure.as_str()),
+            ),
+            (
+                "error".to_string(),
+                serde_json::Value::from(err.to_string()),
+            ),
+        ]),
+    }
+}
+
+/// Assembles the complete `--format json` document from per-figure items
+/// (see [`figure_json_item`]): one pretty-printed JSON array, exactly the
+/// bytes the CLI prints (minus the trailing newline `println!` appends).
+pub fn figures_json_document(items: Vec<serde_json::Value>) -> String {
+    serde_json::to_string_pretty(&serde_json::Value::Array(items))
+}
+
 /// The raw-metrics JSON record of one replay result: every counter of the
 /// [`stms_mem::SimResult`] plus the derived ratios the figures plot, so a
 /// plotting pipeline consuming `--format json` never has to re-parse

@@ -45,9 +45,10 @@ pub use ablation::{
     index_organization_ablation, index_organization_ablation_from, IndexAblation, IndexAblationRow,
 };
 pub use campaign::{
-    job_fingerprint, Campaign, CampaignCacheStats, CampaignCaches, CampaignError, DiskTierConfig,
-    FigurePlan, JobError, JobOutput, JobPool, JobSpec, JobTask, MergeError, MergedShards,
-    ResultStore, ResultStoreStats, ShardRun, ShardSpec, TraceStore, TraceStoreStats,
+    job_fingerprint, Campaign, CampaignCacheStats, CampaignCaches, CampaignError, CancelToken,
+    DiskTierConfig, FigurePlan, FlightStats, JobError, JobOutput, JobPool, JobSpec, JobTask,
+    MergeError, MergedShards, ResultStore, ResultStoreStats, ShardRun, ShardSpec, TraceStore,
+    TraceStoreStats,
 };
 pub use experiments::FigureResult;
 pub use runner::{

@@ -211,10 +211,54 @@ impl PipelineReport {
     }
 }
 
-/// An ordered collection of [`ShardReport`]s, [`StreamReport`]s,
-/// [`PipelineReport`]s and [`CacheReport`]s rendered as one block.
+/// Lifetime counters of one `stms-serve` daemon: how requests fared at the
+/// admission gate and how much replay work in-flight dedup and the result
+/// memo absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests received (all kinds, including pings and stats probes).
+    pub requests: u64,
+    /// Run requests admitted past the gate.
+    pub accepted: u64,
+    /// Run requests refused because the queue was full (or malformed).
+    pub rejected: u64,
+    /// Run requests abandoned mid-flight by their client.
+    pub cancelled: u64,
+    /// Figure frames streamed back to clients.
+    pub figures_streamed: u64,
+    /// Jobs actually executed (singleflight leaders).
+    pub jobs_executed: u64,
+    /// Jobs that joined another request's in-flight execution.
+    pub jobs_shared: u64,
+    /// Jobs served from the result memo without executing.
+    pub jobs_cached: u64,
+}
+
+impl ServeReport {
+    /// One summary line, e.g.
+    /// `serve: 12 requests (9 accepted, 2 rejected, 1 cancelled), 31 figures streamed, jobs: 24 executed, 40 shared in-flight, 16 memoized`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "serve: {} requests ({} accepted, {} rejected, {} cancelled), \
+             {} figures streamed, jobs: {} executed, {} shared in-flight, {} memoized",
+            self.requests,
+            self.accepted,
+            self.rejected,
+            self.cancelled,
+            self.figures_streamed,
+            self.jobs_executed,
+            self.jobs_shared,
+            self.jobs_cached
+        )
+    }
+}
+
+/// An ordered collection of [`ServeReport`]s, [`ShardReport`]s,
+/// [`StreamReport`]s, [`PipelineReport`]s and [`CacheReport`]s rendered as
+/// one block.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
+    serves: Vec<ServeReport>,
     shards: Vec<ShardReport>,
     streams: Vec<StreamReport>,
     pipelines: Vec<PipelineReport>,
@@ -230,6 +274,12 @@ impl RunSummary {
     /// Appends one tier's report.
     pub fn push(&mut self, report: CacheReport) {
         self.reports.push(report);
+    }
+
+    /// Appends one daemon's serving report (rendered first: it frames the
+    /// shard/stream/cache lines below it).
+    pub fn push_serve(&mut self, report: ServeReport) {
+        self.serves.push(report);
     }
 
     /// Appends one shard's report (rendered before the cache tiers).
@@ -252,6 +302,7 @@ impl RunSummary {
     /// Whether any report was added.
     pub fn is_empty(&self) -> bool {
         self.reports.is_empty()
+            && self.serves.is_empty()
             && self.shards.is_empty()
             && self.streams.is_empty()
             && self.pipelines.is_empty()
@@ -265,6 +316,11 @@ impl RunSummary {
             return String::new();
         }
         let mut out = String::from("run summary:\n");
+        for serve in &self.serves {
+            out.push_str("  ");
+            out.push_str(&serve.render_line());
+            out.push('\n');
+        }
         for shard in &self.shards {
             out.push_str("  ");
             out.push_str(&shard.render_line());
@@ -473,5 +529,30 @@ mod tests {
         assert_eq!(lines[0], "run summary:");
         assert!(lines[1].starts_with("  a:"));
         assert!(lines[2].starts_with("  b:"));
+    }
+
+    #[test]
+    fn serve_report_renders_first() {
+        let mut summary = RunSummary::new();
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_serve(ServeReport {
+            requests: 12,
+            accepted: 9,
+            rejected: 2,
+            cancelled: 1,
+            figures_streamed: 31,
+            jobs_executed: 24,
+            jobs_shared: 40,
+            jobs_cached: 16,
+        });
+        assert!(!summary.is_empty());
+        let text = summary.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[1],
+            "  serve: 12 requests (9 accepted, 2 rejected, 1 cancelled), \
+             31 figures streamed, jobs: 24 executed, 40 shared in-flight, 16 memoized"
+        );
+        assert!(lines[2].starts_with("  traces:"));
     }
 }

@@ -29,6 +29,7 @@ pub mod manifest;
 pub mod stream;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use access::{AccessKind, MemAccess};
 pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};

@@ -177,6 +177,102 @@ fn deterministic_results_for_identical_seeds() {
     assert_eq!(a, b, "the whole pipeline must be deterministic");
 }
 
+/// Renders `ids` through a campaign configured by `caches`, asserting no
+/// figure fails.
+fn render_with_caches(
+    ids: &[&str],
+    caches: stms::sim::campaign::CampaignCaches,
+) -> (Vec<String>, stms::sim::campaign::Campaign) {
+    use stms::sim::experiments;
+    let campaign = stms::sim::campaign::Campaign::with_caches(
+        ExperimentConfig::quick().with_accesses(6_000),
+        2,
+        caches,
+    )
+    .expect("open caches");
+    let plans = ids
+        .iter()
+        .map(|id| experiments::plan_for_id(id, campaign.cfg()).expect("known id"))
+        .collect();
+    let rendered = campaign
+        .run_figures(plans)
+        .into_iter()
+        .map(|figure| figure.expect("no job fails").render())
+        .collect();
+    (rendered, campaign)
+}
+
+#[test]
+fn streamed_and_pipelined_campaigns_render_byte_identically() {
+    use stms::sim::campaign::CampaignCaches;
+    let ids = ["table2", "fig6-left"];
+    let (materialized, _) = render_with_caches(&ids, CampaignCaches::default());
+
+    // Out-of-core replay: traces stream chunk by chunk from the generator.
+    let (streamed, campaign) = render_with_caches(
+        &ids,
+        CampaignCaches {
+            stream_traces: true,
+            ..CampaignCaches::default()
+        },
+    );
+    assert_eq!(streamed, materialized, "streamed replay changed the bytes");
+    assert!(campaign.store().stats().stream_replays > 0);
+
+    // Staged pipeline on top of streaming: prefetch/decode overlap replay.
+    let (pipelined, campaign) = render_with_caches(
+        &ids,
+        CampaignCaches {
+            stream_traces: true,
+            pipeline_depth: 4,
+            decode_threads: 2,
+            ..CampaignCaches::default()
+        },
+    );
+    assert_eq!(
+        pipelined, materialized,
+        "pipelined replay changed the bytes"
+    );
+    assert!(campaign.store().stats().pipeline_chunks > 0);
+}
+
+#[test]
+fn v2_written_trace_cache_replays_identically_under_a_v3_campaign() {
+    use stms::sim::campaign::CampaignCaches;
+    use stms::types::TraceCodec;
+    let dir = std::env::temp_dir().join(format!("stms-e2e-codec-dispatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ids = ["fig4"];
+
+    // Cold campaign seals its trace files under the legacy row codec.
+    let v2 = CampaignCaches {
+        trace_dir: Some(dir.clone()),
+        stream_traces: true,
+        trace_codec: TraceCodec::V2,
+        ..CampaignCaches::default()
+    };
+    let (cold, campaign) = render_with_caches(&ids, v2);
+    assert!(
+        campaign.store().stats().disk_writes > 0,
+        "cold run persists"
+    );
+
+    // A v3-configured campaign on the same directory must read the v2
+    // files via version dispatch: no regeneration, identical bytes.
+    let v3 = CampaignCaches {
+        trace_dir: Some(dir.clone()),
+        stream_traces: true,
+        trace_codec: TraceCodec::V3,
+        ..CampaignCaches::default()
+    };
+    let (warm, campaign) = render_with_caches(&ids, v3);
+    assert_eq!(warm, cold, "codec dispatch changed the rendering");
+    let stats = campaign.store().stats();
+    assert_eq!(stats.generated, 0, "warm run must not regenerate");
+    assert!(stats.stream_replays > 0, "warm run streams from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn direct_library_use_without_the_driver() {
     // The same flow as examples/quickstart.rs, exercising the public API of
