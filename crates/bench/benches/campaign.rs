@@ -125,15 +125,24 @@ fn bench_sharding(c: &mut Criterion) {
         })
     });
 
-    // Seal + open of a realistic manifest (the merge stage's I/O unit).
+    // Seal + open of a realistic manifest (the merge stage's I/O unit),
+    // including the per-job phase-timing section every executed job adds.
     let entries: Vec<_> = (0..128u128)
         .map(|i| (stms_types::Fingerprint::from_raw(i), vec![0u8; 256]))
+        .collect();
+    let timings: Vec<_> = (0..128u128)
+        .map(|i| stms_types::ShardJobTiming {
+            fingerprint: stms_types::Fingerprint::from_raw(i),
+            queue_ns: 1_000,
+            run_ns: 2_000,
+        })
         .collect();
     let manifest = stms_types::ShardManifest {
         config: stms_types::Fingerprint::from_raw(7),
         index: 1,
         count: 2,
         entries,
+        timings,
     };
     group.bench_function("manifest_seal_and_open_128_entries", |b| {
         b.iter(|| {

@@ -202,10 +202,48 @@ fn bench_codec_axis(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick().with_accesses(ACCESSES);
+    let kind = PrefetcherKind::Baseline;
+    let spec = bench_workload().with_accesses(ACCESSES);
+    let replay = |store: &TraceStore| {
+        store.replay_streaming(&spec, ACCESSES, |source| {
+            run_source(&cfg, source, &kind).map(|result| result.cycles)
+        })
+    };
+
+    // The most instrumented replay shape there is: warm disk tier behind
+    // the staged pipeline, so every iteration crosses the stage observer
+    // (prefetch/decode/stall), the simulate histogram, and the cache-tier
+    // latency probes. The registry-disabled row is the same replay with
+    // every record call reduced to one relaxed atomic load — the <3%
+    // overhead bound CI asserts on this pair.
+    let dir = bench_dir("telemetry");
+    let store = TraceStore::with_disk_tier(DiskTierConfig::new(&dir))
+        .expect("create bench cache dir")
+        .with_streaming(true)
+        .with_pipeline(PipelineConfig::with_depth(4));
+    replay(&store); // populate the disk tier
+
+    stms_obs::set_enabled(false);
+    group.bench_function("warm_disk_pipelined/disabled", |b| {
+        b.iter(|| black_box(replay(&store)))
+    });
+    stms_obs::set_enabled(true);
+    group.bench_function("warm_disk_pipelined/instrumented", |b| {
+        b.iter(|| black_box(replay(&store)))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_streamed_replay,
     bench_pipelined_replay,
-    bench_codec_axis
+    bench_codec_axis,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

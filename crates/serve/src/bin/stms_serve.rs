@@ -4,15 +4,19 @@
 //! stms-serve --socket PATH [--quick] [--accesses N] [--threads N]
 //!            [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
 //!            [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
-//!            [--trace-codec v2|v3]
+//!            [--trace-codec v2|v3] [--metrics-out FILE]
 //!            [--max-active N] [--max-queue N] [--read-timeout-ms MS]
 //! ```
 //!
 //! Binds the Unix socket, keeps one campaign (trace store, result memo,
 //! job pool, in-flight dedup) alive across requests, and serves until
 //! `SIGTERM`/`SIGINT` or a client sends the `Shutdown` request. On exit it
-//! prints a `serve:` report plus the cache counters to stderr and removes
-//! the socket file.
+//! prints a `serve:` report, the cache counters, and the `telemetry:`
+//! block to stderr and removes the socket file; `--metrics-out FILE`
+//! additionally writes the final registry snapshot as versioned JSON.
+//! Every reported counter is cumulative since daemon start (see the
+//! library's counter-semantics notes); a live daemon answers the same
+//! values to `stms-serve-client --stats` / `--metrics` at any time.
 //!
 //! The experiment-model flags (`--quick`, `--accesses`, cache and
 //! streaming flags) mean exactly what they mean on `stms-experiments`; a
@@ -25,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use stms_serve::{ServeConfig, Server};
 use stms_sim::ExperimentConfig;
-use stms_stats::RunSummary;
+use stms_stats::{RunSummary, TelemetryReport};
 
 /// Flipped by the signal handler; the accept loop polls it.
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -52,16 +56,17 @@ fn usage() -> &'static str {
     "usage: stms-serve --socket PATH [--quick] [--accesses N] [--threads N]\n\
      \x20                 [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
      \x20                 [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
-     \x20                 [--trace-codec v2|v3]\n\
+     \x20                 [--trace-codec v2|v3] [--metrics-out FILE]\n\
      \x20                 [--max-active N] [--max-queue N] [--read-timeout-ms MS]"
 }
 
-fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>), String> {
     let mut socket: Option<PathBuf> = None;
     let mut cfg = ExperimentConfig::scaled();
     let mut accesses: Option<usize> = None;
     let mut config = ServeConfig::new(PathBuf::new(), cfg.clone());
     let mut decode_threads: Option<usize> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -124,6 +129,9 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     other => return Err(format!("--trace-codec must be v2 or v3, got `{other}`")),
                 };
             }
+            "--metrics-out" => {
+                metrics_out = Some(value_of(&mut i, "--metrics-out")?.into());
+            }
             "--max-active" => {
                 config.max_active = number_of(&mut i, "--max-active")?;
                 if config.max_active == 0 {
@@ -158,7 +166,7 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     }
     config.socket = socket;
     config.cfg = cfg;
-    Ok(config)
+    Ok((config, metrics_out))
 }
 
 fn main() -> ExitCode {
@@ -167,8 +175,8 @@ fn main() -> ExitCode {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let (config, metrics_out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}\n{}", usage());
             return ExitCode::from(2);
@@ -187,6 +195,31 @@ fn main() -> ExitCode {
     let mut summary = RunSummary::new();
     summary.push_serve(report);
     stms_sim::campaign::push_cache_reports(&mut summary, server.campaign());
+    // Same registry the daemon answered to `--metrics` probes: cumulative
+    // since start, so the shutdown block is the final (largest) snapshot.
+    let snapshot = stms_obs::snapshot();
+    if !snapshot.is_empty() {
+        summary.push_telemetry(TelemetryReport {
+            lines: snapshot.render_lines(),
+        });
+    }
+    let mut failed = false;
+    if let Some(path) = &metrics_out {
+        match std::fs::write(path, snapshot.to_json_string()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "error: cannot write metrics snapshot `{}`: {e}",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+    }
     eprint!("{}", summary.render());
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! stms-serve-client --socket PATH [--figures ID[,ID...]] [--format text|json]
-//!                   [--ping | --stats | --shutdown]
+//!                   [--ping | --stats | --metrics | --shutdown]
 //!                   [--stress N] [--disconnect-after K]
 //! ```
 //!
@@ -10,6 +10,13 @@
 //! bodies (text) or the closing JSON document exactly as the one-shot
 //! `stms-experiments` CLI would print them, so `cmp` against its stdout is
 //! the byte-identity check. Figure errors go to stderr as `error: …`.
+//!
+//! `--stats` prints the daemon's serving counters as `name value` lines;
+//! `--metrics` prints the daemon's full telemetry registry as the same
+//! versioned JSON document `--metrics-out` writes. Both are answered
+//! without taking an admission slot, so probing a saturated daemon never
+//! competes with run traffic, and both report values cumulative since
+//! daemon start (probes are monotone).
 //!
 //! `--stress N` opens N concurrent connections issuing the *same* request
 //! (released together), asserts every connection streamed byte-identical
@@ -38,6 +45,7 @@ enum Mode {
     Run,
     Ping,
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -53,7 +61,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: stms-serve-client --socket PATH [--figures ID[,ID...]] [--format text|json]\n\
-     \x20                        [--ping | --stats | --shutdown]\n\
+     \x20                        [--ping | --stats | --metrics | --shutdown]\n\
      \x20                        [--stress N] [--disconnect-after K] [--timeout-ms MS]"
 }
 
@@ -95,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--ping" => mode = Mode::Ping,
             "--stats" => mode = Mode::Stats,
+            "--metrics" => mode = Mode::Metrics,
             "--shutdown" => mode = Mode::Shutdown,
             "--stress" => {
                 let v = value_of(&mut i, "--stress")?;
@@ -347,6 +356,22 @@ fn main() -> ExitCode {
             }
             Ok(other) => {
                 eprintln!("error: unexpected answer to stats: {other:?}");
+                ExitCode::FAILURE
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        },
+        Mode::Metrics => match simple_exchange(&opts, Request::Metrics) {
+            Ok(Response::Metrics { json }) => {
+                // The document already ends with a newline.
+                print!("{json}");
+                let _ = std::io::stdout().flush();
+                ExitCode::SUCCESS
+            }
+            Ok(other) => {
+                eprintln!("error: unexpected answer to metrics: {other:?}");
                 ExitCode::FAILURE
             }
             Err(message) => {

@@ -36,6 +36,19 @@
 //! (bounded by the gate), blocking socket I/O with timeouts, and
 //! `std`-only primitives, which keeps the concurrency story auditable and
 //! the binary dependency-free.
+//!
+//! # Counter semantics
+//!
+//! Every serving counter — [`wire::ServeCounters`] answered to
+//! [`wire::Request::Stats`], the `serve:` line of the shutdown summary,
+//! and the telemetry registry answered to [`wire::Request::Metrics`] — is
+//! **cumulative since daemon start and never reset**. A `Stats` probe, the
+//! shutdown report, and a `Metrics` snapshot all read the same monotone
+//! counters, so any two probes `t1 < t2` satisfy `counter(t1) <=
+//! counter(t2)` and the difference is exactly the traffic in between. The
+//! only non-cumulative fields are the instantaneous gate depths
+//! (`active_requests` / `queued_requests`), which report the line as it
+//! stands at probe time.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -185,11 +198,28 @@ impl Gate {
     /// Requests a slot, waiting in ticket order. `cancelled` is polled
     /// while waiting; when it returns `true` the waiter leaves the line
     /// ([`Admission::Abandoned`]) and its ticket is skipped.
+    ///
+    /// Admission is instrumented: every admitted request records its wait
+    /// into the `serve.gate.wait_ns` histogram, and the high-water line
+    /// depth and slot occupancy go to the `serve.gate.queued` /
+    /// `serve.gate.active` gauges.
     pub fn admit(&self, cancelled: impl Fn() -> bool) -> Admission<'_> {
+        let waited = stms_obs::is_enabled().then(std::time::Instant::now);
+        let note_admitted = |waited: Option<std::time::Instant>| {
+            if let Some(started) = waited {
+                let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                stms_obs::histogram("serve.gate.wait_ns").record(nanos);
+            }
+        };
         let mut state = self.lock();
+        if waited.is_some() {
+            stms_obs::gauge("serve.gate.active").record_max(state.active as u64);
+            stms_obs::gauge("serve.gate.queued").record_max(state.queued as u64);
+        }
         // Fast path: no line and a free slot — no ticket needed.
         if state.queued == 0 && state.active < self.max_active {
             state.active += 1;
+            note_admitted(waited);
             return Admission::Admitted(Permit { gate: self });
         }
         if state.queued >= self.max_queue {
@@ -198,6 +228,9 @@ impl Gate {
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         state.queued += 1;
+        if waited.is_some() {
+            stms_obs::gauge("serve.gate.queued").record_max(state.queued as u64);
+        }
         loop {
             // Abandoned tickets at the front of the line never block it.
             loop {
@@ -214,6 +247,7 @@ impl Gate {
                 drop(state);
                 // Another waiter may now be at the front with a free slot.
                 self.cv.notify_all();
+                note_admitted(waited);
                 return Admission::Admitted(Permit { gate: self });
             }
             if cancelled() {
@@ -263,6 +297,11 @@ struct Shared {
 }
 
 impl Shared {
+    /// The daemon's serving counters. Every field is cumulative since
+    /// daemon start except the two instantaneous gate depths; the shutdown
+    /// summary ([`Shared::report`]) is derived from the same values, so
+    /// `--stats` probes and the final `serve:` line can never disagree
+    /// about the traffic they both saw.
     fn counters(&self) -> ServeCounters {
         let flights = self.campaign.flight_stats();
         let caches = self.campaign.cache_stats();
@@ -429,6 +468,13 @@ fn handle(shared: &Shared, mut stream: UnixStream) {
         }
         Request::Stats => {
             let _ = send(&mut stream, &Response::Stats(shared.counters()));
+        }
+        Request::Metrics => {
+            // Like Stats: answered directly, never through the gate, so a
+            // dashboard polling a saturated daemon is never queued behind
+            // the very runs it is trying to observe.
+            let json = stms_obs::snapshot().to_json_string();
+            let _ = send(&mut stream, &Response::Metrics { json });
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);

@@ -83,6 +83,19 @@ impl TestServer {
         }
     }
 
+    /// One `Metrics` exchange: the daemon's telemetry registry, parsed
+    /// back from the wire's JSON document.
+    fn metrics(&self) -> stms_obs::Snapshot {
+        let mut stream = self.connect();
+        wire::send_request(&mut stream, &Request::Metrics).unwrap();
+        match wire::recv_response(&mut stream).unwrap() {
+            Some(Response::Metrics { json }) => {
+                stms_obs::Snapshot::parse(&json).expect("wire metrics parse back")
+            }
+            other => panic!("unexpected answer to Metrics: {other:?}"),
+        }
+    }
+
     /// Requests shutdown, joins the accept loop, returns the final report.
     fn shutdown(mut self) -> ServeReport {
         let mut stream = self.connect();
@@ -456,6 +469,98 @@ fn admission_storm_rejects_past_the_queue_and_serves_the_rest_identically() {
     let report = server.shutdown();
     assert_eq!(report.accepted, accepted.len() as u64);
     assert_eq!(report.rejected, rejected as u64);
+}
+
+/// Asserts every metric of `before` is still present in `after` and has
+/// not decreased — the wire contract for `Request::Metrics` probes
+/// (cumulative since daemon start, never reset).
+fn assert_monotone(before: &stms_obs::Snapshot, after: &stms_obs::Snapshot, when: &str) {
+    for (name, value) in &before.counters {
+        let later = after
+            .counter(name)
+            .unwrap_or_else(|| panic!("counter {name} vanished {when}"));
+        assert!(later >= *value, "counter {name} went backwards {when}");
+    }
+    for (name, hist) in &before.histograms {
+        let later = after
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} vanished {when}"));
+        assert!(
+            later.count >= hist.count,
+            "histogram {name} count went backwards {when}"
+        );
+        assert!(
+            later.sum >= hist.sum,
+            "histogram {name} sum went backwards {when}"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshots_are_monotone_across_a_stress_run() {
+    let clients = 6;
+    let ids = ["table2"];
+    let server = TestServer::start("metrics", |config| {
+        // Capacity one: the storm exercises the gate's waiting line, so
+        // the admit-wait histogram sees real queueing.
+        config.max_active = 1;
+        config.max_queue = clients;
+    });
+
+    // Probe before any run: the registry may already carry metrics (it is
+    // process-wide and other tests share it), but never loses any.
+    let before = server.metrics();
+
+    let mut probes = vec![before];
+    for round in 0..2 {
+        let barrier = Barrier::new(clients);
+        let streams: Vec<Vec<Response>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let server = &server;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        server.run(&ids, RequestFormat::Text)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for frames in &streams {
+            assert!(
+                matches!(frames.last(), Some(Response::Done { failed: 0, .. })),
+                "round {round}: every client completes cleanly"
+            );
+        }
+        probes.push(server.metrics());
+    }
+
+    for (i, pair) in probes.windows(2).enumerate() {
+        assert_monotone(
+            &pair[0],
+            &pair[1],
+            &format!("between probes {i} and {}", i + 1),
+        );
+    }
+
+    // The run left its footprint: job phases were timed, flights counted,
+    // and the saturated gate recorded admission waits.
+    let last = probes.last().unwrap();
+    assert!(
+        last.histogram("job.run_ns").is_some_and(|h| h.count > 0),
+        "job phase timings must be recorded"
+    );
+    assert!(
+        last.counter("flight.executed").unwrap_or(0) > 0,
+        "flight leaders must be counted"
+    );
+    assert!(
+        last.histogram("serve.gate.wait_ns")
+            .is_some_and(|h| h.count >= (clients as u64) * 2),
+        "every admitted request records its gate wait"
+    );
+    server.shutdown();
 }
 
 #[test]

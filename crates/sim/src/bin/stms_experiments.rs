@@ -7,7 +7,7 @@
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
 //!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
 //!                  [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
-//!                  [--trace-codec v2|v3]
+//!                  [--trace-codec v2|v3] [--metrics-out FILE]
 //!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]
 //!                   | --retry-failed MANIFEST]
 //!                  [EXPERIMENT ...]
@@ -57,6 +57,21 @@
 //! `--stream-traces` the effective ratio is reported on an indented
 //! `compression:` line under the streamed-replay summary.
 //!
+//! # Telemetry
+//!
+//! Every run records into the process-wide `stms_obs` metrics registry:
+//! per-job queue/run/total phase histograms (also keyed per figure),
+//! pipeline stage timings (prefetch, decode, budget stall, simulate —
+//! pipelined replays only), cache tier hit/miss/evict latencies, and
+//! in-flight dedup counters. The snapshot is rendered as a `telemetry:`
+//! block at the end of the stderr run summary, and `--metrics-out FILE`
+//! additionally writes it as a versioned JSON document
+//! (`"stms-metrics/v1"`). Telemetry never writes to stdout, so figure
+//! output stays byte-identical to an uninstrumented run. Shard runs embed
+//! their per-job phase timings into the sealed manifest; `--merge-shards`
+//! folds every shard's timings back into `merge.queue_ns`/`merge.run_ns`,
+//! aggregating fleet-wide timing without rerunning anything.
+//!
 //! # Distributed campaigns
 //!
 //! `--shard I/N` runs only the 1-based `I`-th slice of the deterministic
@@ -99,7 +114,7 @@ use std::process::ExitCode;
 use stms_sim::campaign::{push_cache_reports, Campaign, CampaignCaches, ShardSpec};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
-use stms_stats::RunSummary;
+use stms_stats::{RunSummary, TelemetryReport};
 
 struct Options {
     cfg: ExperimentConfig,
@@ -112,6 +127,7 @@ struct Options {
     shard_out: Option<PathBuf>,
     merge_dirs: Vec<PathBuf>,
     retry_manifest: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -126,7 +142,7 @@ fn usage() -> String {
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
          \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
          \x20                       [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
-         \x20                       [--trace-codec v2|v3]\n\
+         \x20                       [--trace-codec v2|v3] [--metrics-out FILE]\n\
          \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]\n\
          \x20                        | --retry-failed MANIFEST]\n\
          \x20                       [EXPERIMENT ...]\n\
@@ -149,6 +165,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut shard_out: Option<PathBuf> = None;
     let mut merge_dirs: Vec<PathBuf> = Vec::new();
     let mut retry_manifest: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -243,6 +260,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--decode-threads must be non-zero".into());
                 }
                 decode_threads = Some(n);
+            }
+            "--metrics-out" => {
+                metrics_out = Some(value_of(&mut i, "--metrics-out")?.into());
             }
             "--retry-failed" => {
                 retry_manifest = Some(value_of(&mut i, "--retry-failed")?.into());
@@ -350,7 +370,36 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shard_out,
         merge_dirs,
         retry_manifest,
+        metrics_out,
     })
+}
+
+/// Attaches the registry snapshot's `telemetry:` block to the summary and,
+/// when `--metrics-out` was given, writes the versioned JSON snapshot.
+/// Returns `false` when the snapshot file could not be written.
+fn finish_telemetry(summary: &mut RunSummary, metrics_out: Option<&std::path::Path>) -> bool {
+    let snapshot = stms_obs::snapshot();
+    if !snapshot.is_empty() {
+        summary.push_telemetry(TelemetryReport {
+            lines: snapshot.render_lines(),
+        });
+    }
+    let Some(path) = metrics_out else {
+        return true;
+    };
+    match std::fs::write(path, snapshot.to_json_string()) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!(
+                "error: cannot write metrics snapshot `{}`: {e}",
+                path.display()
+            );
+            false
+        }
+    }
 }
 
 /// Shared figure-output stage: prints text renders as they arrive, writes
@@ -420,6 +469,7 @@ fn run_shard_mode(
     plans: Vec<FigurePlan>,
     spec: ShardSpec,
     out_dir: &std::path::Path,
+    metrics_out: Option<&std::path::Path>,
 ) -> ExitCode {
     let run = campaign.run_shard(plans, spec);
     if let Some(error) = run.error() {
@@ -439,8 +489,11 @@ fn run_shard_mode(
     let mut summary = RunSummary::new();
     summary.push_shard(run.report(bytes));
     push_cache_reports(&mut summary, campaign);
+    let metrics_ok = finish_telemetry(&mut summary, metrics_out);
     eprint!("{}", summary.render());
-    if run.is_complete() {
+    if !metrics_ok {
+        ExitCode::FAILURE
+    } else if run.is_complete() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(3)
@@ -455,6 +508,7 @@ fn run_retry_mode(
     campaign: &Campaign,
     plans: Vec<FigurePlan>,
     manifest_path: &std::path::Path,
+    metrics_out: Option<&std::path::Path>,
 ) -> ExitCode {
     let run = match campaign.retry_shard(plans, manifest_path) {
         Ok(run) => run,
@@ -500,8 +554,11 @@ fn run_retry_mode(
     let mut summary = RunSummary::new();
     summary.push_shard(run.report(bytes));
     push_cache_reports(&mut summary, campaign);
+    let metrics_ok = finish_telemetry(&mut summary, metrics_out);
     eprint!("{}", summary.render());
-    if run.is_complete() {
+    if !metrics_ok {
+        ExitCode::FAILURE
+    } else if run.is_complete() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(3)
@@ -561,11 +618,11 @@ fn main() -> ExitCode {
     // Shard mode: generate/replay one slice, seal, render nothing.
     if let Some(spec) = opts.shard {
         let out_dir = opts.shard_out.as_deref().expect("validated in parse_args");
-        return run_shard_mode(&campaign, plans, spec, out_dir);
+        return run_shard_mode(&campaign, plans, spec, out_dir, opts.metrics_out.as_deref());
     }
     // Retry mode: rerun only the jobs missing from a partial manifest.
     if let Some(manifest) = &opts.retry_manifest {
-        return run_retry_mode(&campaign, plans, manifest);
+        return run_retry_mode(&campaign, plans, manifest, opts.metrics_out.as_deref());
     }
 
     let mut sink = FigureSink::new(&opts);
@@ -583,14 +640,16 @@ fn main() -> ExitCode {
         }
     }
     let failed = sink.finish();
-    // Cache accounting goes to stderr so a warm run's stdout stays
-    // byte-identical to the cold run that populated the cache.
+    // Cache accounting and telemetry go to stderr so a warm run's stdout
+    // stays byte-identical to the cold run that populated the cache — and
+    // an instrumented run's stdout identical to a registry-disabled one.
     let mut summary = RunSummary::new();
     push_cache_reports(&mut summary, &campaign);
+    let metrics_ok = finish_telemetry(&mut summary, opts.metrics_out.as_deref());
     if !summary.is_empty() {
         eprint!("{}", summary.render());
     }
-    if failed {
+    if failed || !metrics_ok {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -57,7 +57,9 @@ mod trace_store;
 
 pub use job::{job_fingerprint, DecodeJobOutputError, JobError, JobOutput, JobSpec, JobTask};
 pub use pool::{BatchHandle, JobPanic, JobPool};
-pub use result_store::{ResultStore, ResultStoreStats, JOB_OUTPUT_CODEC_VERSION};
+pub use result_store::{
+    ResultStore, ResultStoreStats, DEFAULT_MEMO_BUDGET_BYTES, JOB_OUTPUT_CODEC_VERSION,
+};
 pub use shard::{MergeError, MergedShards, ShardSpec};
 pub use trace_store::{DiskTierConfig, TraceStore, TraceStoreStats};
 
@@ -71,7 +73,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use stms_mem::CmpSimulator;
 use stms_prefetch::MissTraceCollector;
-use stms_types::{Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardManifest};
+use stms_types::{
+    Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardJobTiming, ShardManifest,
+};
 use stms_workloads::WorkloadSpec;
 
 /// The render stage of a [`FigurePlan`]: folds the plan's job outputs
@@ -463,6 +467,9 @@ pub struct Campaign {
     store: Arc<TraceStore>,
     results: Option<Arc<ResultStore>>,
     flights: Arc<FlightTable>,
+    /// Per-job phase log of this campaign's *executed* jobs (flight
+    /// leaders), drained into shard manifests by [`Campaign::run_shard`].
+    timings: Arc<Mutex<Vec<ShardJobTiming>>>,
     pool: JobPool,
 }
 
@@ -540,6 +547,7 @@ impl Campaign {
             store: Arc::new(store),
             results,
             flights: Arc::new(FlightTable::default()),
+            timings: Arc::new(Mutex::new(Vec::new())),
             pool: JobPool::new(threads),
         })
     }
@@ -598,7 +606,7 @@ impl Campaign {
         jobs: Vec<JobSpec>,
         idents: Vec<(String, Fingerprint)>,
     ) -> Vec<Result<JobOutput, JobError>> {
-        self.submit_jobs(jobs, None)
+        self.submit_jobs(jobs, None, None)
             .run_to_completion()
             .into_iter()
             .zip(&idents)
@@ -616,11 +624,18 @@ impl Campaign {
     /// Enqueues a batch without waiting (the streaming primitive behind
     /// [`Campaign::run_figures`]). A task resolves to `None` only when
     /// `cancel` fired before it reached a worker.
+    ///
+    /// `figures[i]`, when given, labels `jobs[i]`'s phase timings with its
+    /// figure id in the telemetry registry; the phase clock itself always
+    /// runs — queue wait is measured from this enqueue to the moment a
+    /// worker picks the task up, run time from pickup to output.
     fn submit_jobs(
         &self,
         jobs: Vec<JobSpec>,
+        figures: Option<Vec<Arc<str>>>,
         cancel: Option<&CancelToken>,
     ) -> BatchHandle<Option<JobOutput>> {
+        let mut figures = figures.map(Vec::into_iter);
         let tasks: Vec<_> = jobs
             .into_iter()
             .map(|job| {
@@ -628,16 +643,44 @@ impl Campaign {
                 let store = Arc::clone(&self.store);
                 let results = self.results.clone();
                 let flights = Arc::clone(&self.flights);
+                let timings = Arc::clone(&self.timings);
+                let figure = figures.as_mut().and_then(Iterator::next);
                 let cancel = cancel.cloned();
+                let enqueued = std::time::Instant::now();
                 move || {
                     if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                         return None;
                     }
-                    Some(execute_job(&cfg, &store, results.as_deref(), &flights, job))
+                    let queue_ns = elapsed_ns(enqueued);
+                    let started = std::time::Instant::now();
+                    let (led, output) =
+                        execute_job(&cfg, &store, results.as_deref(), &flights, job);
+                    let run_ns = elapsed_ns(started);
+                    note_job_phases(figure.as_deref(), queue_ns, run_ns);
+                    if let Some(fingerprint) = led {
+                        timings.lock().unwrap_or_else(PoisonError::into_inner).push(
+                            ShardJobTiming {
+                                fingerprint,
+                                queue_ns,
+                                run_ns,
+                            },
+                        );
+                    }
+                    Some(output)
                 }
             })
             .collect();
         self.pool.submit_batch(tasks)
+    }
+
+    /// Drains the per-job phase log accumulated since the last call, sorted
+    /// by fingerprint so a sealed manifest's bytes do not depend on worker
+    /// scheduling order.
+    fn take_timings(&self) -> Vec<ShardJobTiming> {
+        let mut timings =
+            std::mem::take(&mut *self.timings.lock().unwrap_or_else(PoisonError::into_inner));
+        timings.sort_by_key(|timing| timing.fingerprint);
+        timings
     }
 
     /// Runs every workload of a suite with the same prefetcher
@@ -759,9 +802,15 @@ impl Campaign {
             }
         }
         let mut outstanding: Vec<usize> = parts.iter().map(|p| p.range.len()).collect();
+        // One shared label per figure, cloned into each of its job tasks.
+        let mut labels: Vec<Arc<str>> = Vec::with_capacity(jobs.len());
+        for part in &parts {
+            let label: Arc<str> = Arc::from(part.id.as_str());
+            labels.extend(part.range.clone().map(|_| Arc::clone(&label)));
+        }
         let mut parts: Vec<Option<FigurePart>> = parts.into_iter().map(Some).collect();
         let idents = self.job_idents(&jobs);
-        let handle = self.submit_jobs(jobs, cancel);
+        let handle = self.submit_jobs(jobs, Some(labels), cancel);
         let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
             (0..idents.len()).map(|_| None).collect();
 
@@ -796,6 +845,9 @@ impl Campaign {
     /// are dropped; the merge stage re-derives them from the same figure
     /// selection.
     pub fn run_shard(&self, plans: Vec<FigurePlan>, spec: ShardSpec) -> ShardRun {
+        // The manifest's timing section must describe exactly this shard's
+        // executions, not phases left over from earlier batches.
+        let _ = self.take_timings();
         let (jobs, _parts) = flatten_plans(plans);
         let distinct = shard::distinct_jobs(&self.cfg, &jobs);
         let jobs_total = distinct.len() as u64;
@@ -829,6 +881,7 @@ impl Campaign {
                 index: spec.index,
                 count: spec.count,
                 entries,
+                timings: self.take_timings(),
             },
             failures,
         }
@@ -875,6 +928,7 @@ impl Campaign {
         }
         let spec = ShardSpec::new(manifest.index, manifest.count)
             .expect("ShardManifest::open validated the shard header");
+        let _ = self.take_timings();
         let (jobs, _parts) = flatten_plans(plans);
         let distinct = shard::distinct_jobs(&self.cfg, &jobs);
         let jobs_total = distinct.len() as u64;
@@ -903,6 +957,11 @@ impl Campaign {
                 Err(err) => failures.push(err),
             }
         }
+        // The healed manifest keeps the original run's phase timings and
+        // appends the retry's own (re-sorted for stable manifest bytes).
+        let mut timings = manifest.timings;
+        timings.extend(self.take_timings());
+        timings.sort_by_key(|timing| timing.fingerprint);
         Ok(ShardRun {
             spec,
             jobs_total,
@@ -913,6 +972,7 @@ impl Campaign {
                 index: manifest.index,
                 count: manifest.count,
                 entries,
+                timings,
             },
             failures,
         })
@@ -971,6 +1031,7 @@ impl Campaign {
         F: FnMut(FigureResult),
     {
         let mut merged = MergedShards::load(&self.cfg, dirs)?;
+        note_merged_timings(merged.timings());
         let (jobs, parts) = flatten_plans(plans);
         // One fingerprint pass serves dedup, coverage and hydration alike.
         let fingerprints = shard::job_fingerprints(&self.cfg, &jobs);
@@ -1131,6 +1192,42 @@ fn job_outcome(
     }
 }
 
+/// Nanoseconds since `started`, saturating at `u64::MAX`.
+fn elapsed_ns(started: std::time::Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Feeds one job's phase split into the global metrics registry, both under
+/// the campaign-wide `job.*` histograms and — when the job belongs to a
+/// figure — under that figure's own `figure.{id}.*` series.
+fn note_job_phases(figure: Option<&str>, queue_ns: u64, run_ns: u64) {
+    if !stms_obs::is_enabled() {
+        return;
+    }
+    stms_obs::histogram("job.queue_ns").record(queue_ns);
+    stms_obs::histogram("job.run_ns").record(run_ns);
+    stms_obs::histogram("job.total_ns").record(queue_ns.saturating_add(run_ns));
+    if let Some(figure) = figure {
+        stms_obs::histogram(&format!("figure.{figure}.queue_ns")).record(queue_ns);
+        stms_obs::histogram(&format!("figure.{figure}.run_ns")).record(run_ns);
+    }
+}
+
+/// Replays the phase timings recorded in merged shard manifests into the
+/// registry, so `--merge-shards` surfaces fleet-wide queue/run distributions
+/// under a `merge.*` prefix distinct from this process's own `job.*` series.
+fn note_merged_timings(timings: &[ShardJobTiming]) {
+    if timings.is_empty() || !stms_obs::is_enabled() {
+        return;
+    }
+    let queue = stms_obs::histogram("merge.queue_ns");
+    let run = stms_obs::histogram("merge.run_ns");
+    for timing in timings {
+        queue.record(timing.queue_ns);
+        run.record(timing.run_ns);
+    }
+}
+
 /// One figure's slice of the flattened grid: its id, its job range, and its
 /// render stage.
 struct FigurePart {
@@ -1220,19 +1317,24 @@ fn collect_sims(
 /// job; the leader re-checks it after claiming the slot (double-checked
 /// locking against the table mutex), closing the window where a completed
 /// leader has removed its slot but a racer missed the memo before the put.
+///
+/// Returns the job's fingerprint alongside the output only when this
+/// worker *led* the flight and ran the engine; memo hits and shared
+/// flights return `None`, so the caller's timing log describes real
+/// executions only.
 fn execute_job(
     cfg: &ExperimentConfig,
     store: &TraceStore,
     results: Option<&ResultStore>,
     flights: &FlightTable,
     job: JobSpec,
-) -> JobOutput {
+) -> (Option<Fingerprint>, JobOutput) {
     // A memoized output short-circuits everything, including trace
     // resolution: a fully warm campaign touches no generator and no engine.
     let key = results.map(|memo| (memo, memo.job_key(cfg, &job)));
     if let Some((memo, key)) = &key {
         if let Some(output) = memo.get(*key, cfg, &job) {
-            return output;
+            return (None, output);
         }
     }
     let fingerprint = match &key {
@@ -1245,7 +1347,8 @@ fn execute_job(
                 match slot.wait() {
                     Some(output) => {
                         flights.shared.fetch_add(1, Ordering::Relaxed);
-                        return output;
+                        stms_obs::counter("flight.shared").incr();
+                        return (None, output);
                     }
                     // The leader unwound without an output; take another
                     // turn (this worker may now lead and fail the same way,
@@ -1264,7 +1367,7 @@ fn execute_job(
         if let Some((memo, key)) = &key {
             if let Some(output) = memo.get(*key, cfg, &job) {
                 guard.fill(output.clone());
-                return output;
+                return (None, output);
             }
         }
         let output = run_job_uncached(cfg, store, &job);
@@ -1272,8 +1375,9 @@ fn execute_job(
             memo.put(*key, &output);
         }
         flights.executed.fetch_add(1, Ordering::Relaxed);
+        stms_obs::counter("flight.executed").incr();
         guard.fill(output.clone());
-        return output;
+        return (Some(fingerprint), output);
     }
 }
 

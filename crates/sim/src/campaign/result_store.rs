@@ -62,6 +62,12 @@ pub const JOB_OUTPUT_CODEC_VERSION: u16 =
 /// File-name prefix of persisted job outputs.
 const RESULT_FILE_PREFIX: &str = "result-";
 
+/// Default byte budget of the in-memory memo tier (encoded-output bytes).
+/// Generous enough that a one-shot campaign never evicts — job outputs are
+/// kilobytes each — while bounding a long-lived daemon that replays an
+/// unbounded stream of distinct cells.
+pub const DEFAULT_MEMO_BUDGET_BYTES: u64 = 64 << 20;
+
 /// Counters describing how a [`ResultStore`] was used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResultStoreStats {
@@ -76,6 +82,11 @@ pub struct ResultStoreStats {
     pub corrupt: u64,
     /// Result files written by this store.
     pub stores: u64,
+    /// Memory-tier entries evicted to respect the memo byte budget (the
+    /// disk tier, when present, still holds them).
+    pub memo_evictions: u64,
+    /// Encoded bytes currently resident in the memory tier.
+    pub memo_bytes: u64,
 }
 
 impl ResultStoreStats {
@@ -85,18 +96,91 @@ impl ResultStoreStats {
     }
 }
 
+/// The bounded in-memory memo tier: an LRU keyed by job fingerprint whose
+/// resident size (encoded-output bytes) never exceeds its budget. Recency
+/// is a logical clock bumped on every touch; eviction scans for the
+/// smallest stamp, which is O(entries) but runs only when an insert pushes
+/// the tier over budget — entry counts here are job counts, not accesses.
+#[derive(Debug)]
+struct MemoTier {
+    entries: HashMap<Fingerprint, MemoEntry>,
+    budget: u64,
+    resident_bytes: u64,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    output: JobOutput,
+    bytes: u64,
+    last_used: u64,
+}
+
+impl MemoTier {
+    fn new(budget: u64) -> Self {
+        MemoTier {
+            entries: HashMap::new(),
+            budget,
+            resident_bytes: 0,
+            clock: 0,
+        }
+    }
+
+    fn get(&mut self, key: Fingerprint) -> Option<JobOutput> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|entry| {
+            entry.last_used = clock;
+            entry.output.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, then evicts least-recently-used
+    /// entries until the tier fits its budget again. The just-inserted
+    /// entry is never evicted: an output larger than the whole budget still
+    /// memoizes, the tier just holds that one entry. Returns the eviction
+    /// count.
+    fn insert(&mut self, key: Fingerprint, output: JobOutput, bytes: u64) -> u64 {
+        self.clock += 1;
+        let entry = MemoEntry {
+            output,
+            bytes,
+            last_used: self.clock,
+        };
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.resident_bytes -= old.bytes;
+        }
+        self.resident_bytes += bytes;
+        let mut evicted = 0;
+        while self.resident_bytes > self.budget && self.entries.len() > 1 {
+            let oldest = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("more than one entry resident");
+            let gone = self.entries.remove(&oldest).expect("key from this map");
+            self.resident_bytes -= gone.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// A two-tier (memory + disk) memo of job outputs keyed by stable
 /// fingerprints (see the module-level docs above).
 #[derive(Debug)]
 pub struct ResultStore {
     dir: Option<PathBuf>,
     verify: bool,
-    memory: Mutex<HashMap<Fingerprint, JobOutput>>,
+    memory: Mutex<MemoTier>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
     stores: AtomicU64,
+    memo_evictions: AtomicU64,
 }
 
 impl ResultStore {
@@ -125,12 +209,13 @@ impl ResultStore {
         ResultStore {
             dir,
             verify: false,
-            memory: Mutex::new(HashMap::new()),
+            memory: Mutex::new(MemoTier::new(DEFAULT_MEMO_BUDGET_BYTES)),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            memo_evictions: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +225,18 @@ impl ResultStore {
     /// whose content predates a generator or labelling change.
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Returns a copy with the memory tier bounded to `bytes` of encoded
+    /// output (default [`DEFAULT_MEMO_BUDGET_BYTES`]). Least-recently-used
+    /// entries are evicted when an insert pushes the tier over budget; with
+    /// a disk tier configured they remain loadable from disk.
+    pub fn with_memory_budget(self, bytes: u64) -> Self {
+        self.memory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .budget = bytes;
         self
     }
 
@@ -167,24 +264,26 @@ impl ResultStore {
         cfg: &ExperimentConfig,
         job: &JobSpec,
     ) -> Option<JobOutput> {
+        let started = super::trace_store::obs_started();
         {
-            let memory = self.memory.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(output) = memory.get(&key) {
+            let mut memory = self.memory.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(output) = memory.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(output.clone());
+                drop(memory);
+                super::trace_store::record_elapsed("cache.result.hit_ns", started);
+                return Some(output);
             }
         }
         match self.load_from_disk(key, cfg, job) {
-            Some(output) => {
+            Some((output, bytes)) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.memory
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .insert(key, output.clone());
+                self.memo_insert(key, output.clone(), bytes);
+                super::trace_store::record_elapsed("cache.result.disk_hit_ns", started);
                 Some(output)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                super::trace_store::record_elapsed("cache.result.miss_ns", started);
                 None
             }
         }
@@ -194,21 +293,28 @@ impl ResultStore {
     /// are swallowed — the cache is an optimization, never a correctness
     /// dependency.
     pub fn put(&self, key: Fingerprint, output: &JobOutput) {
-        self.memory
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, output.clone());
+        let encoded = output.encode();
+        self.memo_insert(key, output.clone(), encoded.len() as u64);
         let Some(dir) = &self.dir else { return };
         let path = result_path_in(dir, key);
-        if super::trace_store::write_sealed(
-            dir,
-            &path,
-            JOB_OUTPUT_CODEC_VERSION,
-            key,
-            &output.encode(),
-        ) {
+        if super::trace_store::write_sealed(dir, &path, JOB_OUTPUT_CODEC_VERSION, key, &encoded) {
             self.stores.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Inserts into the bounded memory tier and accounts for any evictions
+    /// the insert forced (store counter, global telemetry counter and
+    /// resident-bytes gauge).
+    fn memo_insert(&self, key: Fingerprint, output: JobOutput, bytes: u64) {
+        let (evicted, resident) = {
+            let mut memory = self.memory.lock().unwrap_or_else(PoisonError::into_inner);
+            (memory.insert(key, output, bytes), memory.resident_bytes)
+        };
+        if evicted > 0 {
+            self.memo_evictions.fetch_add(evicted, Ordering::Relaxed);
+            stms_obs::counter("cache.result.memo_evictions").add(evicted);
+        }
+        stms_obs::gauge("cache.result.memo_bytes").set(resident);
     }
 
     /// Usage counters.
@@ -219,6 +325,12 @@ impl ResultStore {
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
+            memo_bytes: self
+                .memory
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .resident_bytes,
         }
     }
 
@@ -226,12 +338,14 @@ impl ResultStore {
         self.dir.as_ref().map(|dir| result_path_in(dir, key))
     }
 
+    /// Loads one output from the disk tier, returning it with its encoded
+    /// payload size (the memory tier's accounting unit).
     fn load_from_disk(
         &self,
         key: Fingerprint,
         cfg: &ExperimentConfig,
         job: &JobSpec,
-    ) -> Option<JobOutput> {
+    ) -> Option<(JobOutput, u64)> {
         let path = self.result_path(key)?;
         let payload = match super::trace_store::read_sealed(&path, JOB_OUTPUT_CODEC_VERSION, key) {
             Ok(Some(payload)) => payload,
@@ -247,7 +361,7 @@ impl ResultStore {
         if output.is_none() {
             self.evict_corrupt(&path);
         }
-        output
+        output.map(|output| (output, payload.len() as u64))
     }
 
     fn evict_corrupt(&self, path: &std::path::Path) {
@@ -461,6 +575,73 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 0));
         // A second in-memory store shares nothing: no hidden global state.
         assert!(ResultStore::in_memory().get(key, &cfg, &job).is_none());
+    }
+
+    #[test]
+    fn memory_tier_evicts_least_recently_used_past_its_byte_budget() {
+        let cfg = ExperimentConfig::quick();
+        let jobs: Vec<JobSpec> = [
+            presets::web_apache(),
+            presets::oltp_db2(),
+            presets::web_zeus(),
+        ]
+        .into_iter()
+        .map(|spec| JobSpec::replay(spec, PrefetcherKind::Baseline))
+        .collect();
+        let outputs: Vec<JobOutput> = jobs.iter().map(sample_output).collect();
+        let one_entry = outputs[0].encode().len() as u64;
+        // Budget fits two entries but not three.
+        let store = ResultStore::in_memory().with_memory_budget(one_entry * 5 / 2);
+        let keys: Vec<Fingerprint> = jobs.iter().map(|job| store.job_key(&cfg, job)).collect();
+
+        store.put(keys[0], &outputs[0]);
+        store.put(keys[1], &outputs[1]);
+        assert_eq!(store.stats().memo_evictions, 0);
+        // Touch key 0 so key 1 is the least recently used…
+        assert!(store.get(keys[0], &cfg, &jobs[0]).is_some());
+        // …then overflow: key 1 must go, keys 0 and 2 must stay.
+        store.put(keys[2], &outputs[2]);
+        let stats = store.stats();
+        assert_eq!(stats.memo_evictions, 1);
+        assert!(stats.memo_bytes <= one_entry * 5 / 2);
+        assert!(store.get(keys[0], &cfg, &jobs[0]).is_some());
+        assert!(store.get(keys[2], &cfg, &jobs[2]).is_some());
+        assert!(
+            store.get(keys[1], &cfg, &jobs[1]).is_none(),
+            "evicted entry misses in a memory-only store"
+        );
+
+        // An entry larger than the whole budget still memoizes (the tier
+        // never evicts the entry it just inserted).
+        let tiny = ResultStore::in_memory().with_memory_budget(1);
+        tiny.put(keys[0], &outputs[0]);
+        assert!(tiny.get(keys[0], &cfg, &jobs[0]).is_some());
+    }
+
+    #[test]
+    fn disk_tier_backfills_entries_the_memory_tier_evicted() {
+        let dir = temp_dir("memo-backfill");
+        let cfg = ExperimentConfig::quick();
+        let jobs: Vec<JobSpec> = [presets::web_apache(), presets::oltp_db2()]
+            .into_iter()
+            .map(|spec| JobSpec::replay(spec, PrefetcherKind::Baseline))
+            .collect();
+        let outputs: Vec<JobOutput> = jobs.iter().map(sample_output).collect();
+        let one_entry = outputs[0].encode().len() as u64;
+        // Room for one entry only: the second put evicts the first.
+        let store = ResultStore::open(&dir)
+            .unwrap()
+            .with_memory_budget(one_entry * 3 / 2);
+        let keys: Vec<Fingerprint> = jobs.iter().map(|job| store.job_key(&cfg, job)).collect();
+        store.put(keys[0], &outputs[0]);
+        store.put(keys[1], &outputs[1]);
+        assert_eq!(store.stats().memo_evictions, 1);
+        // The evicted output is still served — from disk — and re-promoted.
+        assert!(store.get(keys[0], &cfg, &jobs[0]).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 0, "the disk tier subsumes the eviction");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use stms_types::{Fingerprint, Fingerprintable, ManifestError, ShardManifest};
+use stms_types::{Fingerprint, Fingerprintable, ManifestError, ShardJobTiming, ShardManifest};
 
 /// One slice of an `N`-way partition: 1-based `index` out of `count`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +191,8 @@ pub struct MergedShards {
     present: Vec<u32>,
     // Job fingerprint -> (owning shard index, encoded output payload).
     outputs: HashMap<Fingerprint, (u32, Vec<u8>)>,
+    // Every shard's per-job phase timings, concatenated in manifest order.
+    timings: Vec<ShardJobTiming>,
 }
 
 impl MergedShards {
@@ -222,6 +224,7 @@ impl MergedShards {
         let mut count: Option<u32> = None;
         let mut seen_shards: HashMap<u32, PathBuf> = HashMap::new();
         let mut outputs: HashMap<Fingerprint, (u32, Vec<u8>)> = HashMap::new();
+        let mut timings: Vec<ShardJobTiming> = Vec::new();
         for path in paths {
             let bytes = fs::read(&path).map_err(|e| MergeError::Io {
                 path: path.clone(),
@@ -254,6 +257,7 @@ impl MergedShards {
                     second: path,
                 });
             }
+            timings.extend(manifest.timings);
             for (fingerprint, payload) in manifest.entries {
                 if let Some((other, _)) = outputs.get(&fingerprint) {
                     return Err(MergeError::DuplicateJob {
@@ -270,6 +274,7 @@ impl MergedShards {
             count: count.expect("at least one manifest"),
             present,
             outputs,
+            timings,
         })
     }
 
@@ -291,6 +296,13 @@ impl MergedShards {
     /// The shard indices present in the set, sorted.
     pub fn present_shards(&self) -> &[u32] {
         &self.present
+    }
+
+    /// The per-job phase timings carried by the manifest set, in manifest
+    /// order. A timing describes a job its shard actually *executed*, so
+    /// deduplicated or memo-served jobs contribute no entry.
+    pub fn timings(&self) -> &[ShardJobTiming] {
+        &self.timings
     }
 
     /// Checks that every planned distinct job has an output in the set.

@@ -59,7 +59,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use stms_types::stream::pipeline::{
-    ChunkPipeline, InflightBudget, PipelineConfig, PipelineInput, PipelineStats,
+    ChunkPipeline, InflightBudget, PipeStage, PipelineConfig, PipelineInput, PipelineStats,
+    StageObserver,
 };
 use stms_types::stream::{
     collect_trace, AccessChunk, ChunkedTraceWriter, TraceCodec, TraceReader, TraceSource,
@@ -210,6 +211,10 @@ pub struct TraceStore {
     /// reader side is version-dispatched, so a store always replays files
     /// written under either codec regardless of this setting.
     codec: TraceCodec,
+    /// Telemetry forwarder for staged-pipeline stage timings, created on
+    /// first instrumented replay (only while the global registry is
+    /// enabled, so disabled telemetry costs the pipeline no clock reads).
+    stage_observer: OnceLock<PipelineObserver>,
     hits: AtomicU64,
     misses: AtomicU64,
     generated: AtomicU64,
@@ -245,6 +250,54 @@ fn counter_add(counter: &AtomicU64, n: u64) {
 /// Monotonic-max update for gauge-style counters (peaks).
 fn counter_max(counter: &AtomicU64, n: u64) {
     counter.fetch_max(n, Ordering::Relaxed);
+}
+
+/// `Instant::now()` gated on telemetry being enabled; pair with
+/// [`record_elapsed`]. Cache paths take their clock reads through this so a
+/// disabled registry costs them nothing at all.
+pub(crate) fn obs_started() -> Option<std::time::Instant> {
+    stms_obs::is_enabled().then(std::time::Instant::now)
+}
+
+/// Records the nanoseconds elapsed since `started` into the named global
+/// histogram; a `None` start (telemetry disabled at the time) records
+/// nothing.
+pub(crate) fn record_elapsed(name: &str, started: Option<std::time::Instant>) {
+    if let Some(started) = started {
+        let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        stms_obs::histogram(name).record(nanos);
+    }
+}
+
+/// Forwards staged-pipeline stage timings into the global telemetry
+/// registry: per-chunk prefetch (frame read / generation) and
+/// checksum/decode service time, plus time a reader spent stalled on the
+/// shared in-flight byte budget.
+#[derive(Debug)]
+struct PipelineObserver {
+    prefetch: stms_obs::Histogram,
+    decode: stms_obs::Histogram,
+    stall: stms_obs::Histogram,
+}
+
+impl PipelineObserver {
+    fn new() -> Self {
+        PipelineObserver {
+            prefetch: stms_obs::histogram("pipeline.prefetch_ns"),
+            decode: stms_obs::histogram("pipeline.decode_ns"),
+            stall: stms_obs::histogram("pipeline.budget_stall_ns"),
+        }
+    }
+}
+
+impl StageObserver for PipelineObserver {
+    fn record(&self, stage: PipeStage, nanos: u64) {
+        match stage {
+            PipeStage::Prefetch => self.prefetch.record(nanos),
+            PipeStage::Decode => self.decode.record(nanos),
+            PipeStage::BudgetStall => self.stall.record(nanos),
+        }
+    }
 }
 
 /// File-name prefix of persisted traces (distinguishes them from result
@@ -393,6 +446,10 @@ impl TraceStore {
         if let Some(budget) = &self.pipeline_budget {
             pipeline = pipeline.with_budget(budget);
         }
+        if stms_obs::is_enabled() {
+            pipeline =
+                pipeline.with_observer(self.stage_observer.get_or_init(PipelineObserver::new));
+        }
         pipeline
     }
 
@@ -464,10 +521,7 @@ impl TraceStore {
         let (result, stats) = self
             .pipeline_for(PipelineInput::Decoded(&mut generator))
             .run(|source| {
-                let mut counted = CountingSource {
-                    inner: source,
-                    chunks: &self.stream_chunks,
-                };
+                let mut counted = CountingSource::new(source, &self.stream_chunks);
                 run(&mut counted)
             });
         self.note_pipeline(&stats);
@@ -593,10 +647,7 @@ impl TraceStore {
         let (outcome, stats) =
             self.pipeline_for(PipelineInput::Frames(&mut reader))
                 .run(|source| {
-                    let mut counted = CountingSource {
-                        inner: source,
-                        chunks: &self.stream_chunks,
-                    };
+                    let mut counted = CountingSource::new(source, &self.stream_chunks);
                     run(&mut counted)
                 });
         self.note_pipeline(&stats);
@@ -652,39 +703,57 @@ impl TraceStore {
     /// cache file is evicted and regenerated instead of surfacing an error.
     pub fn get_or_generate(&self, spec: &WorkloadSpec, accesses: usize) -> SharedTrace {
         let key = spec.clone().with_accesses(accesses);
-        let cell = {
+        let started = obs_started();
+        let (cell, hit) = {
             let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             match map.get(&key) {
                 Some(cell) => {
                     counter_add(&self.hits, 1);
-                    Arc::clone(cell)
+                    (Arc::clone(cell), true)
                 }
                 None => {
                     counter_add(&self.misses, 1);
                     let cell = Arc::new(OnceLock::new());
                     map.insert(key.clone(), Arc::clone(&cell));
-                    cell
+                    (cell, false)
                 }
             }
         };
         // Resolution happens outside the map lock so other keys proceed.
-        Arc::clone(cell.get_or_init(|| self.resolve(&key)))
+        let trace = Arc::clone(cell.get_or_init(|| self.resolve(&key)));
+        record_elapsed(
+            if hit {
+                "cache.trace.hit_ns"
+            } else {
+                "cache.trace.miss_ns"
+            },
+            started,
+        );
+        trace
     }
 
     /// Loads `key` from the disk tier or generates (and persists) it.
     fn resolve(&self, key: &WorkloadSpec) -> SharedTrace {
         let Some(disk) = &self.disk else {
             counter_add(&self.generated, 1);
-            return generate(key).into_shared();
+            let started = obs_started();
+            let trace = generate(key).into_shared();
+            record_elapsed("cache.trace.generate_ns", started);
+            return trace;
         };
         let fingerprint = key.fingerprint();
+        let started = obs_started();
         if let Some(trace) = self.load_from_disk(disk, key, fingerprint) {
             counter_add(&self.disk_hits, 1);
+            record_elapsed("cache.trace.disk_hit_ns", started);
             return trace.into_shared();
         }
+        record_elapsed("cache.trace.disk_miss_ns", started);
         counter_add(&self.disk_misses, 1);
         counter_add(&self.generated, 1);
+        let started = obs_started();
         let trace = generate(key);
+        record_elapsed("cache.trace.generate_ns", started);
         self.persist(disk, &trace, fingerprint);
         trace.into_shared()
     }
@@ -716,7 +785,9 @@ impl TraceStore {
 
     fn evict_corrupt(&self, path: &Path) {
         counter_add(&self.disk_corrupt, 1);
+        let started = obs_started();
         let _ = fs::remove_file(path);
+        record_elapsed("cache.trace.evict_ns", started);
     }
 
     /// Streams the sealed chunk-framed trace blob to disk atomically, then
@@ -883,10 +954,26 @@ fn write_chunked_file(
 }
 
 /// A pass-through [`TraceSource`] that counts delivered chunks into a
-/// store-level gauge (the `streamed N chunks` line of the run summary).
+/// store-level gauge (the `streamed N chunks` line of the run summary) and,
+/// while telemetry is enabled, records the simulate-stage service time of
+/// each chunk — the gap between one chunk's delivery and the next request,
+/// which is exactly how long the simulator spent consuming it.
 struct CountingSource<'a, S: TraceSource + ?Sized> {
     inner: &'a mut S,
     chunks: &'a AtomicU64,
+    simulate: Option<stms_obs::Histogram>,
+    delivered: Option<std::time::Instant>,
+}
+
+impl<'a, S: TraceSource + ?Sized> CountingSource<'a, S> {
+    fn new(inner: &'a mut S, chunks: &'a AtomicU64) -> Self {
+        CountingSource {
+            inner,
+            chunks,
+            simulate: stms_obs::is_enabled().then(|| stms_obs::histogram("pipeline.simulate_ns")),
+            delivered: None,
+        }
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for CountingSource<'_, S> {
@@ -899,10 +986,17 @@ impl<S: TraceSource + ?Sized> TraceSource for CountingSource<'_, S> {
     }
 
     fn next_chunk(&mut self) -> Result<Option<AccessChunk<'_>>, TraceStreamError> {
+        if let (Some(simulate), Some(delivered)) = (&self.simulate, self.delivered.take()) {
+            let nanos = delivered.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            simulate.record(nanos);
+        }
         let chunks = self.chunks;
         let result = self.inner.next_chunk();
         if let Ok(Some(_)) = &result {
             counter_add(chunks, 1);
+            if self.simulate.is_some() {
+                self.delivered = Some(std::time::Instant::now());
+            }
         }
         result
     }

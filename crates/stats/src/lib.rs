@@ -28,5 +28,6 @@ pub use cdf::Cdf;
 pub use streams::{analyze_streams, analyze_streams_multi, StreamAnalysis};
 pub use summary::{
     CacheReport, PipelineReport, RunSummary, ServeReport, ShardReport, StreamReport,
+    TelemetryReport,
 };
 pub use table::{pct, ratio, TextTable};

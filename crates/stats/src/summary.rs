@@ -253,9 +253,41 @@ impl ServeReport {
     }
 }
 
+/// A rendered slice of the process-wide metrics registry: pre-formatted
+/// `name: value` pairs, one per metric, in registry order.
+///
+/// The stats crate does not depend on the registry itself — callers pass
+/// the lines (e.g. from `stms_obs::Snapshot::render_lines`) so the summary
+/// stays a pure formatter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryReport {
+    /// `(metric name, rendered value)` pairs, in display order.
+    pub lines: Vec<(String, String)>,
+}
+
+impl TelemetryReport {
+    /// The block rendered under the summary: a `telemetry:` header plus
+    /// one indented line per metric. Empty reports render as an empty
+    /// string.
+    pub fn render_block(&self) -> String {
+        if self.lines.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("  telemetry:\n");
+        for (name, value) in &self.lines {
+            out.push_str("    ");
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// An ordered collection of [`ServeReport`]s, [`ShardReport`]s,
-/// [`StreamReport`]s, [`PipelineReport`]s and [`CacheReport`]s rendered as
-/// one block.
+/// [`StreamReport`]s, [`PipelineReport`]s, [`CacheReport`]s and an
+/// optional [`TelemetryReport`] rendered as one block.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
     serves: Vec<ServeReport>,
@@ -263,6 +295,7 @@ pub struct RunSummary {
     streams: Vec<StreamReport>,
     pipelines: Vec<PipelineReport>,
     reports: Vec<CacheReport>,
+    telemetry: Option<TelemetryReport>,
 }
 
 impl RunSummary {
@@ -299,6 +332,13 @@ impl RunSummary {
         self.pipelines.push(report);
     }
 
+    /// Attaches the telemetry block (rendered last, after the cache
+    /// tiers). A later call replaces an earlier one — the registry is
+    /// process-wide, so there is only ever one current snapshot.
+    pub fn push_telemetry(&mut self, report: TelemetryReport) {
+        self.telemetry = Some(report);
+    }
+
     /// Whether any report was added.
     pub fn is_empty(&self) -> bool {
         self.reports.is_empty()
@@ -306,6 +346,7 @@ impl RunSummary {
             && self.shards.is_empty()
             && self.streams.is_empty()
             && self.pipelines.is_empty()
+            && self.telemetry.as_ref().is_none_or(|t| t.lines.is_empty())
     }
 
     /// The rendered block: a `run summary:` header plus one indented line
@@ -345,6 +386,9 @@ impl RunSummary {
             out.push_str("  ");
             out.push_str(&report.render_line());
             out.push('\n');
+        }
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(&telemetry.render_block());
         }
         out
     }
@@ -415,6 +459,27 @@ mod tests {
         assert_eq!(lines[0], "run summary:");
         assert!(lines[1].starts_with("  shard 2/2:"), "{}", lines[1]);
         assert!(lines[2].starts_with("  traces:"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn telemetry_block_renders_last_and_empty_report_stays_empty() {
+        let mut summary = RunSummary::new();
+        summary.push_telemetry(TelemetryReport::default());
+        assert!(summary.is_empty(), "empty telemetry alone renders nothing");
+        assert_eq!(summary.render(), "");
+
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_telemetry(TelemetryReport {
+            lines: vec![
+                ("job.run_ns".to_string(), "n=4 mean=1ms".to_string()),
+                ("flight.executed".to_string(), "4".to_string()),
+            ],
+        });
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert!(lines[1].starts_with("  traces:"), "{}", lines[1]);
+        assert_eq!(lines[2], "  telemetry:");
+        assert_eq!(lines[3], "    job.run_ns: n=4 mean=1ms");
+        assert_eq!(lines[4], "    flight.executed: 4");
     }
 
     #[test]

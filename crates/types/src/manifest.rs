@@ -28,6 +28,7 @@
 //!     index: 1,
 //!     count: 2,
 //!     entries: vec![(Fingerprint::from_raw(11), b"output".to_vec())],
+//!     timings: Vec::new(),
 //! };
 //! let sealed = manifest.seal();
 //! let back = ShardManifest::open(&sealed).unwrap();
@@ -40,8 +41,22 @@ use std::fmt;
 
 /// Version of the manifest body layout. Bump when the encoding changes; old
 /// files then fail the blob codec check and merge reports them as unusable
-/// instead of misreading them.
-pub const MANIFEST_CODEC_VERSION: u16 = 1;
+/// instead of misreading them. v2 appended the per-job timing section.
+pub const MANIFEST_CODEC_VERSION: u16 = 2;
+
+/// Wall-clock phase timings of one job as measured by the shard that ran
+/// it, keyed by the same stable job fingerprint as the output entries.
+/// Merge folds these into fleet-wide phase histograms — the calibration
+/// input for cost-model shard partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardJobTiming {
+    /// Stable fingerprint of the job the timing belongs to.
+    pub fingerprint: Fingerprint,
+    /// Nanoseconds the job spent queued in the pool before starting.
+    pub queue_ns: u64,
+    /// Nanoseconds the job spent executing (including memo lookups).
+    pub run_ns: u64,
+}
 
 /// One shard's sealed output slice: which configuration and shard it came
 /// from, plus every finished job keyed by its stable fingerprint.
@@ -56,6 +71,10 @@ pub struct ShardManifest {
     pub count: u32,
     /// `(job fingerprint, opaque payload)` pairs, in the shard's job order.
     pub entries: Vec<(Fingerprint, Vec<u8>)>,
+    /// Per-job phase timings measured on this shard. Independent of
+    /// `entries`: a timing may describe a job whose output was deduplicated
+    /// away, and an entry may carry no timing (e.g. a pure memo hit).
+    pub timings: Vec<ShardJobTiming>,
 }
 
 impl ShardManifest {
@@ -88,6 +107,12 @@ impl ShardManifest {
             body.extend_from_slice(&fingerprint.raw().to_le_bytes());
             body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             body.extend_from_slice(payload);
+        }
+        body.extend_from_slice(&(self.timings.len() as u64).to_le_bytes());
+        for timing in &self.timings {
+            body.extend_from_slice(&timing.fingerprint.raw().to_le_bytes());
+            body.extend_from_slice(&timing.queue_ns.to_le_bytes());
+            body.extend_from_slice(&timing.run_ns.to_le_bytes());
         }
         blob::seal(
             MANIFEST_CODEC_VERSION,
@@ -143,6 +168,24 @@ impl ShardManifest {
             }
             entries.push((fingerprint, payload));
         }
+        let timing_count =
+            u64::from_le_bytes(take(8, "timing count")?.try_into().expect("8 bytes")) as usize;
+        let mut timings = Vec::with_capacity(timing_count.min(1 << 16));
+        for _ in 0..timing_count {
+            let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
+                take(16, "timing fingerprint")?
+                    .try_into()
+                    .expect("16 bytes"),
+            ));
+            let queue_ns =
+                u64::from_le_bytes(take(8, "timing queue")?.try_into().expect("8 bytes"));
+            let run_ns = u64::from_le_bytes(take(8, "timing run")?.try_into().expect("8 bytes"));
+            timings.push(ShardJobTiming {
+                fingerprint,
+                queue_ns,
+                run_ns,
+            });
+        }
         if !body.is_empty() {
             return Err(ManifestError::TrailingData);
         }
@@ -151,6 +194,7 @@ impl ShardManifest {
             index,
             count,
             entries,
+            timings,
         })
     }
 }
@@ -229,6 +273,18 @@ mod tests {
                 (Fingerprint::from_raw(2), Vec::new()),
                 (Fingerprint::from_raw(u128::MAX), vec![0; 100]),
             ],
+            timings: vec![
+                ShardJobTiming {
+                    fingerprint: Fingerprint::from_raw(1),
+                    queue_ns: 1_200,
+                    run_ns: 88_000,
+                },
+                ShardJobTiming {
+                    fingerprint: Fingerprint::from_raw(u128::MAX),
+                    queue_ns: 0,
+                    run_ns: u64::MAX,
+                },
+            ],
         }
     }
 
@@ -274,7 +330,8 @@ mod tests {
             body.extend_from_slice(&7u128.to_le_bytes());
             body.extend_from_slice(&index.to_le_bytes());
             body.extend_from_slice(&count.to_le_bytes());
-            body.extend_from_slice(&0u64.to_le_bytes());
+            body.extend_from_slice(&0u64.to_le_bytes()); // entries
+            body.extend_from_slice(&0u64.to_le_bytes()); // timings
             let sealed = blob::seal(
                 MANIFEST_CODEC_VERSION,
                 ShardManifest::seal_key(Fingerprint::from_raw(7), index, count),
@@ -296,7 +353,8 @@ mod tests {
         body.extend_from_slice(&manifest.config.raw().to_le_bytes());
         body.extend_from_slice(&manifest.index.to_le_bytes());
         body.extend_from_slice(&manifest.count.to_le_bytes());
-        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes()); // entries
+        body.extend_from_slice(&0u64.to_le_bytes()); // timings
         let wrong_key = ShardManifest::seal_key(manifest.config, manifest.index + 1, 9);
         let sealed = blob::seal(MANIFEST_CODEC_VERSION, wrong_key, &body);
         assert_eq!(

@@ -111,6 +111,55 @@ impl PipelineConfig {
     }
 }
 
+/// Which pipeline stage a [`StageObserver`] sample describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeStage {
+    /// Reader stage: one `next_chunk`/`next_raw` call against the wrapped
+    /// source (disk read or generator step).
+    Prefetch,
+    /// Decode worker: checksum verification + record parsing of one raw
+    /// frame.
+    Decode,
+    /// Time the reader spent blocked on the shared [`InflightBudget`]
+    /// before a chunk was admitted (only recorded when it actually
+    /// stalled).
+    BudgetStall,
+}
+
+/// Per-stage timing sink for a pipeline run. The pipeline calls
+/// [`StageObserver::record`] once per chunk per stage with the stage's
+/// service time in nanoseconds; implementations must be cheap and
+/// non-blocking (the campaign layer forwards into lock-free telemetry
+/// histograms). The serial (depth-0) path runs no stages and records
+/// nothing.
+pub trait StageObserver: std::fmt::Debug + Sync {
+    /// Records one stage execution of `nanos` nanoseconds.
+    fn record(&self, stage: PipeStage, nanos: u64);
+}
+
+/// Runs `f`, reporting its wall time to `observer` (when present) under
+/// `stage`. `keep` filters the sample — budget acquisitions report only
+/// when they actually stalled.
+fn timed<T>(
+    observer: Option<&dyn StageObserver>,
+    stage: PipeStage,
+    keep: impl FnOnce(&T) -> bool,
+    f: impl FnOnce() -> T,
+) -> T {
+    match observer {
+        None => f(),
+        Some(obs) => {
+            let start = std::time::Instant::now();
+            let out = f();
+            if keep(&out) {
+                let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                obs.record(stage, nanos);
+            }
+            out
+        }
+    }
+}
+
 /// Counters describing one pipeline run, for the run summary's
 /// `PipelineReport`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -301,6 +350,7 @@ pub struct ChunkPipeline<'a> {
     input: PipelineInput<'a>,
     config: PipelineConfig,
     budget: Option<&'a InflightBudget>,
+    observer: Option<&'a dyn StageObserver>,
 }
 
 impl<'a> ChunkPipeline<'a> {
@@ -310,6 +360,7 @@ impl<'a> ChunkPipeline<'a> {
             input,
             config,
             budget: None,
+            observer: None,
         }
     }
 
@@ -317,6 +368,12 @@ impl<'a> ChunkPipeline<'a> {
     /// campaign-global cap).
     pub fn with_budget(mut self, budget: &'a InflightBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a per-stage timing sink (see [`StageObserver`]).
+    pub fn with_observer(mut self, observer: &'a dyn StageObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -345,11 +402,12 @@ impl<'a> ChunkPipeline<'a> {
         };
         let shared = PipeShared::new(depth);
         let budget = self.budget;
+        let observer = self.observer;
         let input = self.input;
         let out = std::thread::scope(|scope| {
-            scope.spawn(|| reader_stage(input, &shared, budget));
+            scope.spawn(|| reader_stage(input, &shared, budget, observer));
             for _ in 0..workers {
-                scope.spawn(|| worker_stage(&shared));
+                scope.spawn(|| worker_stage(&shared, observer));
             }
             let mut source = PipedSource {
                 shared: &shared,
@@ -595,11 +653,16 @@ fn close_work(shared: &PipeShared) {
 /// budget caps. Panics are converted into an in-band stream error at the
 /// panicking position — the consumer sees them exactly like a corrupt
 /// chunk.
-fn reader_stage(input: PipelineInput<'_>, shared: &PipeShared, budget: Option<&InflightBudget>) {
+fn reader_stage(
+    input: PipelineInput<'_>,
+    shared: &PipeShared,
+    budget: Option<&InflightBudget>,
+    observer: Option<&dyn StageObserver>,
+) {
     let mut seq = 0u64;
     let outcome = catch_unwind(AssertUnwindSafe(|| match input {
-        PipelineInput::Decoded(source) => read_decoded(source, shared, budget, &mut seq),
-        PipelineInput::Frames(source) => read_frames(source, shared, budget, &mut seq),
+        PipelineInput::Decoded(source) => read_decoded(source, shared, budget, &mut seq, observer),
+        PipelineInput::Frames(source) => read_frames(source, shared, budget, &mut seq, observer),
     }));
     if outcome.is_err() {
         deliver(
@@ -624,12 +687,18 @@ fn read_decoded(
     shared: &PipeShared,
     budget: Option<&InflightBudget>,
     seq: &mut u64,
+    observer: Option<&dyn StageObserver>,
 ) {
     loop {
         if !acquire_slot(shared) {
             return;
         }
-        match source.next_chunk() {
+        match timed(
+            observer,
+            PipeStage::Prefetch,
+            |_| true,
+            || source.next_chunk(),
+        ) {
             Ok(None) => {
                 release_slot(shared, 0);
                 return;
@@ -652,7 +721,12 @@ fn read_decoded(
                     accesses: chunk.accesses.to_vec(),
                 };
                 let cost = chunk_cost(owned.accesses.len());
-                let Some(stalled) = acquire_budget(shared, budget, cost) else {
+                let Some(stalled) = timed(
+                    observer,
+                    PipeStage::BudgetStall,
+                    |admitted: &Option<bool>| *admitted == Some(true),
+                    || acquire_budget(shared, budget, cost),
+                ) else {
                     release_slot(shared, 0);
                     return;
                 };
@@ -678,12 +752,18 @@ fn read_frames(
     shared: &PipeShared,
     budget: Option<&InflightBudget>,
     seq: &mut u64,
+    observer: Option<&dyn StageObserver>,
 ) {
     loop {
         if !acquire_slot(shared) {
             return;
         }
-        match source.next_raw() {
+        match timed(
+            observer,
+            PipeStage::Prefetch,
+            |_| true,
+            || source.next_raw(),
+        ) {
             Ok(None) => {
                 release_slot(shared, 0);
                 return;
@@ -702,7 +782,12 @@ fn read_frames(
             }
             Ok(Some(raw)) => {
                 let cost = chunk_cost(raw.len());
-                let Some(stalled) = acquire_budget(shared, budget, cost) else {
+                let Some(stalled) = timed(
+                    observer,
+                    PipeStage::BudgetStall,
+                    |admitted: &Option<bool>| *admitted == Some(true),
+                    || acquire_budget(shared, budget, cost),
+                ) else {
                     release_slot(shared, 0);
                     return;
                 };
@@ -720,7 +805,7 @@ fn read_frames(
 /// A decode worker: verify + parse raw frames, in any order, delivering
 /// into the reorder buffer. Panics (including ones raised by `decode_into`
 /// internals) become in-band errors at the frame's position.
-fn worker_stage(shared: &PipeShared) {
+fn worker_stage(shared: &PipeShared, observer: Option<&dyn StageObserver>) {
     loop {
         let job = {
             let mut work = shared.work.lock().expect("work lock");
@@ -738,13 +823,20 @@ fn worker_stage(shared: &PipeShared) {
             }
         };
         let Some((seq, raw, cost)) = job else { return };
-        let item = match catch_unwind(AssertUnwindSafe(|| {
-            let mut accesses = Vec::with_capacity(raw.len());
-            raw.decode_into(&mut accesses).map(|()| OwnedChunk {
-                first_index: raw.first_index(),
-                accesses,
-            })
-        })) {
+        let item = match timed(
+            observer,
+            PipeStage::Decode,
+            |_| true,
+            || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut accesses = Vec::with_capacity(raw.len());
+                    raw.decode_into(&mut accesses).map(|()| OwnedChunk {
+                        first_index: raw.first_index(),
+                        accesses,
+                    })
+                }))
+            },
+        ) {
             Ok(Ok(chunk)) => StageItem::Chunk(chunk),
             Ok(Err(err)) => StageItem::Err(err),
             Err(_) => StageItem::Err(panic_error("decode")),

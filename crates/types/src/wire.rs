@@ -310,6 +310,7 @@ const TAG_REQ_PING: u8 = 0;
 const TAG_REQ_RUN: u8 = 1;
 const TAG_REQ_STATS: u8 = 2;
 const TAG_REQ_SHUTDOWN: u8 = 3;
+const TAG_REQ_METRICS: u8 = 4;
 
 /// A client-to-server message. One request per connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,6 +328,11 @@ pub enum Request {
     Stats,
     /// Ask the daemon to stop accepting and exit once idle.
     Shutdown,
+    /// Report the daemon's full telemetry registry; answered with
+    /// [`Response::Metrics`]. Like [`Request::Stats`], answered without
+    /// taking an admission slot, so live introspection never competes with
+    /// run traffic.
+    Metrics,
 }
 
 impl Request {
@@ -351,6 +357,7 @@ impl Request {
             }
             Request::Stats => out.push(TAG_REQ_STATS),
             Request::Shutdown => out.push(TAG_REQ_SHUTDOWN),
+            Request::Metrics => out.push(TAG_REQ_METRICS),
         }
         out
     }
@@ -381,6 +388,7 @@ impl Request {
             }
             TAG_REQ_STATS => Request::Stats,
             TAG_REQ_SHUTDOWN => Request::Shutdown,
+            TAG_REQ_METRICS => Request::Metrics,
             tag => return Err(WireError::UnknownTag { tag }),
         };
         r.finish()?;
@@ -397,6 +405,12 @@ impl Request {
 /// The first block counts requests as the gate saw them; the second block
 /// is the campaign's own view (in-flight dedup, memoization, trace tiers),
 /// so a test can prove exactly-once replay from the outside.
+///
+/// Every field is **cumulative since daemon start and never reset**,
+/// except the two instantaneous gate depths (`active_requests`,
+/// `queued_requests`): two probes `t1 < t2` always satisfy
+/// `counter(t1) <= counter(t2)`, and the daemon's shutdown summary is
+/// derived from these same values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeCounters {
     /// Requests received (all kinds).
@@ -483,6 +497,7 @@ const TAG_RESP_DONE: u8 = 4;
 const TAG_RESP_REJECTED: u8 = 5;
 const TAG_RESP_STATS: u8 = 6;
 const TAG_RESP_SHUTTING_DOWN: u8 = 7;
+const TAG_RESP_METRICS: u8 = 8;
 
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -529,6 +544,13 @@ pub enum Response {
     Stats(ServeCounters),
     /// Answer to [`Request::Shutdown`]; the daemon exits once idle.
     ShuttingDown,
+    /// Answer to [`Request::Metrics`]: the daemon's telemetry registry as
+    /// an `stms-metrics/v1` JSON document. Carried as opaque text so the
+    /// snapshot schema can grow without another wire-codec bump.
+    Metrics {
+        /// Pretty-printed metrics snapshot JSON.
+        json: String,
+    },
 }
 
 impl Response {
@@ -567,6 +589,10 @@ impl Response {
                 counters.encode_into(&mut out);
             }
             Response::ShuttingDown => out.push(TAG_RESP_SHUTTING_DOWN),
+            Response::Metrics { json } => {
+                out.push(TAG_RESP_METRICS);
+                put_str(&mut out, json);
+            }
         }
         out
     }
@@ -598,6 +624,9 @@ impl Response {
             },
             TAG_RESP_STATS => Response::Stats(ServeCounters::decode_from(&mut r)?),
             TAG_RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            TAG_RESP_METRICS => Response::Metrics {
+                json: r.take_str("metrics json")?,
+            },
             tag => return Err(WireError::UnknownTag { tag }),
         };
         r.finish()?;
@@ -654,6 +683,7 @@ mod tests {
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Shutdown);
+        roundtrip_request(&Request::Metrics);
         roundtrip_request(&Request::Run {
             figures: vec![],
             format: RequestFormat::Text,
@@ -703,6 +733,9 @@ mod tests {
             active_requests: 12,
             queued_requests: 13,
         }));
+        roundtrip_response(&Response::Metrics {
+            json: "{\n  \"schema\": \"stms-metrics/v1\"\n}\n".into(),
+        });
     }
 
     #[test]
