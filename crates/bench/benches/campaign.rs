@@ -125,6 +125,27 @@ fn bench_sharding(c: &mut Criterion) {
         })
     });
 
+    // The cost-balanced variant adds a sort and a greedy min-scan on top
+    // of the cost predictions; still pure arithmetic, still negligible.
+    group.bench_function("cost_partition_full_grid_2_way", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = stms_sim::experiments::all_plans(&cfg)
+                .iter()
+                .flat_map(|plan| plan.jobs().to_vec())
+                .collect();
+            let distinct = stms_sim::campaign::shard::distinct_jobs(&cfg, &jobs);
+            let model = stms_sim::campaign::JobCostModel::analytic();
+            let partition = stms_sim::campaign::cost::partition(
+                &model,
+                &cfg,
+                &distinct,
+                2,
+                stms_types::ShardBalance::Cost,
+            );
+            black_box(partition.shard_cost_ns.iter().max().copied())
+        })
+    });
+
     // Seal + open of a realistic manifest (the merge stage's I/O unit),
     // including the per-job phase-timing section every executed job adds.
     let entries: Vec<_> = (0..128u128)
@@ -141,6 +162,7 @@ fn bench_sharding(c: &mut Criterion) {
         config: stms_types::Fingerprint::from_raw(7),
         index: 1,
         count: 2,
+        balance: stms_types::ShardBalance::Count,
         entries,
         timings,
     };

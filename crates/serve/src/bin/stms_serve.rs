@@ -3,8 +3,8 @@
 //! ```text
 //! stms-serve --socket PATH [--quick] [--accesses N] [--threads N]
 //!            [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
-//!            [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
-//!            [--trace-codec v2|v3] [--metrics-out FILE]
+//!            [--stream-traces] [--replay-pipeline DEPTH|auto] [--decode-threads N]
+//!            [--trace-codec v2|v3] [--metrics-out FILE] [--calibrate-from DIR]
 //!            [--max-active N] [--max-queue N] [--read-timeout-ms MS]
 //! ```
 //!
@@ -21,6 +21,12 @@
 //! The experiment-model flags (`--quick`, `--accesses`, cache and
 //! streaming flags) mean exactly what they mean on `stms-experiments`; a
 //! daemon and a one-shot run configured alike produce byte-identical
+//! figure bytes. That includes `--replay-pipeline auto` (serial streaming
+//! on a single-hardware-thread box, depth 2 otherwise) and
+//! `--calibrate-from DIR`, which rescales the daemon's job-cost model once
+//! at startup from the per-job timings sealed in prior shard manifests —
+//! every request served afterwards schedules its pool with the calibrated
+//! longest-predicted-first order. Scheduling changes order only, never
 //! figure bytes.
 
 use std::path::PathBuf;
@@ -28,6 +34,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use stms_serve::{ServeConfig, Server};
+use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::ExperimentConfig;
 use stms_stats::{RunSummary, TelemetryReport};
 
@@ -55,18 +62,19 @@ fn install_signal_handlers() {
 fn usage() -> &'static str {
     "usage: stms-serve --socket PATH [--quick] [--accesses N] [--threads N]\n\
      \x20                 [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
-     \x20                 [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
-     \x20                 [--trace-codec v2|v3] [--metrics-out FILE]\n\
+     \x20                 [--stream-traces] [--replay-pipeline DEPTH|auto] [--decode-threads N]\n\
+     \x20                 [--trace-codec v2|v3] [--metrics-out FILE] [--calibrate-from DIR]\n\
      \x20                 [--max-active N] [--max-queue N] [--read-timeout-ms MS]"
 }
 
-fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>), String> {
+fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>, Option<PathBuf>), String> {
     let mut socket: Option<PathBuf> = None;
     let mut cfg = ExperimentConfig::scaled();
     let mut accesses: Option<usize> = None;
     let mut config = ServeConfig::new(PathBuf::new(), cfg.clone());
     let mut decode_threads: Option<usize> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut calibrate_from: Option<PathBuf> = None;
 
     let mut i = 0;
     let value_of = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -106,13 +114,31 @@ fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>), String>
             "--cache-verify" => config.caches.verify = true,
             "--stream-traces" => config.caches.stream_traces = true,
             "--replay-pipeline" => {
-                let depth = number_of(&mut i, "--replay-pipeline")?;
-                if depth < 2 {
-                    return Err(format!(
-                        "--replay-pipeline depth must be at least 2, got {depth}"
-                    ));
+                let v = value_of(&mut i, "--replay-pipeline")?;
+                if v == "auto" {
+                    // Same policy as stms-experiments: on a single
+                    // hardware thread the stages cannot overlap, so fall
+                    // back to serial streaming; otherwise the minimal
+                    // depth that overlaps prefetch with simulation.
+                    let parallelism = std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1);
+                    if parallelism <= 1 {
+                        config.caches.stream_traces = true;
+                    } else {
+                        config.caches.pipeline_depth = 2;
+                    }
+                } else {
+                    let depth: usize = v.parse().map_err(|_| {
+                        format!("--replay-pipeline requires a depth or `auto`, got `{v}`")
+                    })?;
+                    if depth < 2 {
+                        return Err(format!(
+                            "--replay-pipeline depth must be at least 2, got {depth}"
+                        ));
+                    }
+                    config.caches.pipeline_depth = depth;
                 }
-                config.caches.pipeline_depth = depth;
             }
             "--decode-threads" => {
                 let n = number_of(&mut i, "--decode-threads")?;
@@ -131,6 +157,9 @@ fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>), String>
             }
             "--metrics-out" => {
                 metrics_out = Some(value_of(&mut i, "--metrics-out")?.into());
+            }
+            "--calibrate-from" => {
+                calibrate_from = Some(value_of(&mut i, "--calibrate-from")?.into());
             }
             "--max-active" => {
                 config.max_active = number_of(&mut i, "--max-active")?;
@@ -166,7 +195,26 @@ fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<PathBuf>), String>
     }
     config.socket = socket;
     config.cfg = cfg;
-    Ok((config, metrics_out))
+    Ok((config, metrics_out, calibrate_from))
+}
+
+/// Fits the campaign's job-cost model from pre-loaded manifest timings,
+/// matching records against the full experiment grid (a daemon may be
+/// asked for any figure). Returns the fit for the startup banner.
+fn calibrate_campaign(
+    campaign: &stms_sim::campaign::Campaign,
+    timings: &[stms_types::ShardJobTiming],
+) -> stms_sim::campaign::Calibration {
+    let mut jobs = Vec::new();
+    for id in ALL_IDS {
+        if let Some(plan) = experiments::plan_for_id(id, campaign.cfg()) {
+            jobs.extend(plan.jobs().iter().cloned());
+        }
+    }
+    let grid = stms_sim::campaign::shard::distinct_jobs(campaign.cfg(), &jobs);
+    let (model, fit) = stms_sim::campaign::JobCostModel::calibrated(campaign.cfg(), &grid, timings);
+    campaign.set_cost_model(model);
+    fit
 }
 
 fn main() -> ExitCode {
@@ -175,12 +223,24 @@ fn main() -> ExitCode {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    let (config, metrics_out) = match parse_args(&args) {
+    let (config, metrics_out, calibrate_from) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}\n{}", usage());
             return ExitCode::from(2);
         }
+    };
+    // Load the calibration corpus before binding, so a bad directory is a
+    // clean usage error that leaves no stale socket file behind.
+    let timings = match &calibrate_from {
+        Some(dir) => match stms_sim::campaign::cost::load_timings(dir) {
+            Ok(timings) => Some(timings),
+            Err(message) => {
+                eprintln!("error: --calibrate-from: {message}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
     install_signal_handlers();
     let server = match Server::bind(config) {
@@ -190,10 +250,32 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Fit before the first request so every served run schedules with the
+    // calibrated model.
+    let mut calibration = None;
+    if let (Some(timings), Some(dir)) = (&timings, &calibrate_from) {
+        let fit = calibrate_campaign(server.campaign(), timings);
+        eprintln!(
+            "calibrated cost model on {} timings from {}",
+            fit.samples,
+            dir.display()
+        );
+        calibration = Some(fit);
+    }
     eprintln!("serving on {}", server.socket_path().display());
     let report = server.run_until(|| STOP.load(Ordering::Acquire));
     let mut summary = RunSummary::new();
     summary.push_serve(report);
+    // The scheduling line describes the daemon's most recent served run —
+    // later requests overwrite earlier logs, same as cache counters are
+    // cumulative while the sched log is per-run.
+    if let Some(mut sched) = server.campaign().take_sched_report() {
+        if let Some(fit) = &calibration {
+            sched.calibration_samples = Some(fit.samples);
+            sched.calibration_error_milli = Some(fit.error_milli);
+        }
+        summary.push_sched(sched);
+    }
     stms_sim::campaign::push_cache_reports(&mut summary, server.campaign());
     // Same registry the daemon answered to `--metrics` probes: cumulative
     // since start, so the shutdown block is the final (largest) snapshot.

@@ -6,10 +6,11 @@
 //! stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]
 //!                  [--figures ID[,ID...]] [--format text|json] [--csv DIR]
 //!                  [--trace-cache DIR] [--result-cache DIR] [--cache-verify]
-//!                  [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]
+//!                  [--stream-traces] [--replay-pipeline DEPTH|auto] [--decode-threads N]
 //!                  [--trace-codec v2|v3] [--metrics-out FILE]
-//!                  [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]
-//!                   | --retry-failed MANIFEST]
+//!                  [--calibrate-from DIR]
+//!                  [--shard I/N --shard-out DIR [--shard-balance count|cost]
+//!                   | --merge-shards DIR[,DIR...] | --retry-failed MANIFEST]
 //!                  [EXPERIMENT ...]
 //! ```
 //!
@@ -47,7 +48,23 @@
 //! All concurrent pipelines share one campaign-global in-flight byte budget,
 //! stdout stays byte-identical to the serial path, and a `pipelined replay:`
 //! line joins the stderr run summary. `DEPTH` must be at least 2 (depth 1
-//! could never overlap anything).
+//! could never overlap anything). `--replay-pipeline auto` picks for you:
+//! serial streaming on a single-hardware-thread box (where staging overhead
+//! cannot be overlapped and measurably loses), depth 2 when threads exist
+//! to overlap prefetch/decode with simulation.
+//!
+//! # Cost-model scheduling
+//!
+//! Every run predicts each job's cost with a deterministic analytic model
+//! (trace length, prefetcher family, log-scaled table geometry, warm-up)
+//! and submits the in-process pool longest-predicted-first, so straggler
+//! jobs start early and the pool tail shrinks; figures still render in
+//! selection order and stdout is byte-identical to plan-order submission.
+//! `--calibrate-from DIR` rescales the model per prefetcher family from
+//! the measured per-job timings sealed in any prior shard manifests in
+//! `DIR`. A `scheduling:` line in the stderr run summary reports the
+//! predicted total, the calibration fit (when one ran) and the
+//! predicted-vs-actual error of the finished run.
 //!
 //! `--trace-codec v2|v3` selects the payload codec of newly written trace
 //! files. The default, `v3`, compresses each chunk column by column
@@ -77,6 +94,12 @@
 //! `--shard I/N` runs only the 1-based `I`-th slice of the deterministic
 //! `N`-way job partition (generate/replay only — nothing renders) and seals
 //! the finished outputs into a manifest under `--shard-out DIR`.
+//! `--shard-balance cost` replaces the default `fingerprint % N` split with
+//! deterministic greedy bin-packing of predicted job costs, so every shard
+//! carries near-equal predicted *work* instead of near-equal job count;
+//! every shard of the fleet must pass the same balance mode (and the same
+//! `--calibrate-from`, if any) — the mode is sealed into each manifest and
+//! cross-checked at merge.
 //! `--merge-shards DIR[,DIR...]` (repeatable) validates the manifests found
 //! in the listed directories and renders the selected figures from them
 //! without running a single simulation; stdout is byte-identical to an
@@ -111,10 +134,13 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use stms_sim::campaign::{push_cache_reports, Campaign, CampaignCaches, ShardSpec};
+use stms_sim::campaign::{
+    cost, push_cache_reports, Calibration, Campaign, CampaignCaches, JobCostModel, ShardSpec,
+};
 use stms_sim::experiments::{self, ALL_IDS};
 use stms_sim::{ExperimentConfig, FigurePlan, FigureResult};
-use stms_stats::{RunSummary, TelemetryReport};
+use stms_stats::{RunSummary, SchedReport, TelemetryReport};
+use stms_types::ShardBalance;
 
 struct Options {
     cfg: ExperimentConfig,
@@ -125,6 +151,8 @@ struct Options {
     caches: CampaignCaches,
     shard: Option<ShardSpec>,
     shard_out: Option<PathBuf>,
+    shard_balance: ShardBalance,
+    calibrate_from: Option<PathBuf>,
     merge_dirs: Vec<PathBuf>,
     retry_manifest: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -141,10 +169,11 @@ fn usage() -> String {
         "usage: stms-experiments [--quick] [--accesses N] [--threads N] [--warmup F]\n\
          \x20                       [--figures ID[,ID...]] [--format text|json] [--csv DIR]\n\
          \x20                       [--trace-cache DIR] [--result-cache DIR] [--cache-verify]\n\
-         \x20                       [--stream-traces] [--replay-pipeline DEPTH] [--decode-threads N]\n\
+         \x20                       [--stream-traces] [--replay-pipeline DEPTH|auto] [--decode-threads N]\n\
          \x20                       [--trace-codec v2|v3] [--metrics-out FILE]\n\
-         \x20                       [--shard I/N --shard-out DIR | --merge-shards DIR[,DIR...]\n\
-         \x20                        | --retry-failed MANIFEST]\n\
+         \x20                       [--calibrate-from DIR]\n\
+         \x20                       [--shard I/N --shard-out DIR [--shard-balance count|cost]\n\
+         \x20                        | --merge-shards DIR[,DIR...] | --retry-failed MANIFEST]\n\
          \x20                       [EXPERIMENT ...]\n\
          experiments: {} (or `all`)",
         ALL_IDS.join(", ")
@@ -163,6 +192,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut decode_threads: Option<usize> = None;
     let mut shard: Option<ShardSpec> = None;
     let mut shard_out: Option<PathBuf> = None;
+    let mut shard_balance: Option<ShardBalance> = None;
+    let mut calibrate_from: Option<PathBuf> = None;
     let mut merge_dirs: Vec<PathBuf> = Vec::new();
     let mut retry_manifest: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
@@ -231,17 +262,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--stream-traces" => caches.stream_traces = true,
             "--replay-pipeline" => {
                 let v = value_of(&mut i, "--replay-pipeline")?;
-                let depth: usize = v
-                    .parse()
-                    .map_err(|_| format!("--replay-pipeline requires a depth, got `{v}`"))?;
-                if depth < 2 {
-                    return Err(format!(
-                        "--replay-pipeline depth must be at least 2 \
-                         (got {depth}); a depth-1 pipeline could never \
-                         overlap prefetch with simulation"
-                    ));
+                if v == "auto" {
+                    // On a single-hardware-thread box the pipeline stages
+                    // cannot overlap, so staging overhead is pure loss (the
+                    // committed bench shows depth 2 slower than serial
+                    // there): fall back to serial streaming. Anywhere else,
+                    // the minimal depth that overlaps prefetch with
+                    // simulation.
+                    let parallelism = std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1);
+                    if parallelism <= 1 {
+                        caches.stream_traces = true;
+                    } else {
+                        caches.pipeline_depth = 2;
+                    }
+                } else {
+                    let depth: usize = v.parse().map_err(|_| {
+                        format!("--replay-pipeline requires a depth or `auto`, got `{v}`")
+                    })?;
+                    if depth < 2 {
+                        return Err(format!(
+                            "--replay-pipeline depth must be at least 2 \
+                             (got {depth}); a depth-1 pipeline could never \
+                             overlap prefetch with simulation"
+                        ));
+                    }
+                    caches.pipeline_depth = depth;
                 }
-                caches.pipeline_depth = depth;
             }
             "--trace-codec" => {
                 let v = value_of(&mut i, "--trace-codec")?;
@@ -272,6 +320,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 shard = Some(ShardSpec::parse(&v)?);
             }
             "--shard-out" => shard_out = Some(value_of(&mut i, "--shard-out")?.into()),
+            "--shard-balance" => {
+                let v = value_of(&mut i, "--shard-balance")?;
+                shard_balance =
+                    Some(ShardBalance::parse(&v).ok_or_else(|| {
+                        format!("--shard-balance must be count or cost, got `{v}`")
+                    })?);
+            }
+            "--calibrate-from" => {
+                calibrate_from = Some(value_of(&mut i, "--calibrate-from")?.into());
+            }
             "--merge-shards" => {
                 let v = value_of(&mut i, "--merge-shards")?;
                 let before = merge_dirs.len();
@@ -332,6 +390,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if shard.is_none() && shard_out.is_some() {
         return Err("--shard-out is only meaningful with --shard I/N".into());
     }
+    if shard.is_none() && shard_balance.is_some() {
+        return Err("--shard-balance is only meaningful with --shard I/N".into());
+    }
+    // Merge runs no cost model at all — silently accepting the flag would
+    // suggest calibration affected the (purely validated) merge.
+    if calibrate_from.is_some() && !merge_dirs.is_empty() {
+        return Err(
+            "--calibrate-from has no effect with --merge-shards (nothing is scheduled)".into(),
+        );
+    }
     // Shard and retry modes render nothing, so output flags would be
     // silently dead.
     let renderless = if shard.is_some() {
@@ -368,6 +436,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         caches,
         shard,
         shard_out,
+        shard_balance: shard_balance.unwrap_or_default(),
+        calibrate_from,
         merge_dirs,
         retry_manifest,
         metrics_out,
@@ -462,16 +532,27 @@ impl<'a> FigureSink<'a> {
     }
 }
 
+/// Merges the calibration fit (when `--calibrate-from` ran) into a
+/// scheduling report before it renders.
+fn merge_calibration(sched: &mut SchedReport, calibration: Option<Calibration>) {
+    if let Some(calibration) = calibration {
+        sched.calibration_samples = Some(calibration.samples);
+        sched.calibration_error_milli = Some(calibration.error_milli);
+    }
+}
+
 /// Runs one shard slice and seals its manifest. See the exit-code contract
 /// in the module docs.
 fn run_shard_mode(
     campaign: &Campaign,
     plans: Vec<FigurePlan>,
     spec: ShardSpec,
+    balance: ShardBalance,
+    calibration: Option<Calibration>,
     out_dir: &std::path::Path,
     metrics_out: Option<&std::path::Path>,
 ) -> ExitCode {
-    let run = campaign.run_shard(plans, spec);
+    let run = campaign.run_shard(plans, spec, balance);
     if let Some(error) = run.error() {
         eprintln!("error: {error}");
     }
@@ -488,6 +569,9 @@ fn run_shard_mode(
     eprintln!("sealed {}", path.display());
     let mut summary = RunSummary::new();
     summary.push_shard(run.report(bytes));
+    let mut sched = run.sched_report();
+    merge_calibration(&mut sched, calibration);
+    summary.push_sched(sched);
     push_cache_reports(&mut summary, campaign);
     let metrics_ok = finish_telemetry(&mut summary, metrics_out);
     eprint!("{}", summary.render());
@@ -507,6 +591,7 @@ fn run_shard_mode(
 fn run_retry_mode(
     campaign: &Campaign,
     plans: Vec<FigurePlan>,
+    calibration: Option<Calibration>,
     manifest_path: &std::path::Path,
     metrics_out: Option<&std::path::Path>,
 ) -> ExitCode {
@@ -553,6 +638,9 @@ fn run_retry_mode(
     eprintln!("sealed {}", path.display());
     let mut summary = RunSummary::new();
     summary.push_shard(run.report(bytes));
+    let mut sched = run.sched_report();
+    merge_calibration(&mut sched, calibration);
+    summary.push_sched(sched);
     push_cache_reports(&mut summary, campaign);
     let metrics_ok = finish_telemetry(&mut summary, metrics_out);
     eprint!("{}", summary.render());
@@ -615,14 +703,50 @@ fn main() -> ExitCode {
         }
     };
 
+    // Calibrate the cost model from prior manifests before anything is
+    // scheduled. Scheduling never changes results, only order, so a failed
+    // expectation here is a usage error, not a partial run.
+    let mut calibration: Option<Calibration> = None;
+    if let Some(dir) = &opts.calibrate_from {
+        let timings = match cost::load_timings(dir) {
+            Ok(timings) => timings,
+            Err(message) => {
+                eprintln!("error: --calibrate-from: {message}");
+                return ExitCode::from(2);
+            }
+        };
+        let jobs: Vec<_> = plans
+            .iter()
+            .flat_map(|plan| plan.jobs().iter().cloned())
+            .collect();
+        let grid = stms_sim::campaign::shard::distinct_jobs(campaign.cfg(), &jobs);
+        let (model, fit) = JobCostModel::calibrated(campaign.cfg(), &grid, &timings);
+        campaign.set_cost_model(model);
+        calibration = Some(fit);
+    }
+
     // Shard mode: generate/replay one slice, seal, render nothing.
     if let Some(spec) = opts.shard {
         let out_dir = opts.shard_out.as_deref().expect("validated in parse_args");
-        return run_shard_mode(&campaign, plans, spec, out_dir, opts.metrics_out.as_deref());
+        return run_shard_mode(
+            &campaign,
+            plans,
+            spec,
+            opts.shard_balance,
+            calibration,
+            out_dir,
+            opts.metrics_out.as_deref(),
+        );
     }
     // Retry mode: rerun only the jobs missing from a partial manifest.
     if let Some(manifest) = &opts.retry_manifest {
-        return run_retry_mode(&campaign, plans, manifest, opts.metrics_out.as_deref());
+        return run_retry_mode(
+            &campaign,
+            plans,
+            calibration,
+            manifest,
+            opts.metrics_out.as_deref(),
+        );
     }
 
     let mut sink = FigureSink::new(&opts);
@@ -646,6 +770,16 @@ fn main() -> ExitCode {
     let mut summary = RunSummary::new();
     push_cache_reports(&mut summary, &campaign);
     let metrics_ok = finish_telemetry(&mut summary, opts.metrics_out.as_deref());
+    // A plain run keeps stderr summary-free (the quiet-default contract);
+    // the scheduling line joins whenever a summary prints anyway, or when
+    // a calibration was explicitly requested. Render order is fixed by
+    // RunSummary, not push order.
+    if let Some(mut sched) = campaign.take_sched_report() {
+        if calibration.is_some() || !summary.is_empty() {
+            merge_calibration(&mut sched, calibration);
+            summary.push_sched(sched);
+        }
+    }
     if !summary.is_empty() {
         eprint!("{}", summary.render());
     }

@@ -49,12 +49,14 @@
 //! assert_eq!(campaign.store().stats().generated, 8);
 //! ```
 
+pub mod cost;
 mod job;
 mod pool;
 mod result_store;
 pub mod shard;
 mod trace_store;
 
+pub use cost::{Calibration, JobCostModel, Partition};
 pub use job::{job_fingerprint, DecodeJobOutputError, JobError, JobOutput, JobSpec, JobTask};
 pub use pool::{BatchHandle, JobPanic, JobPool};
 pub use result_store::{
@@ -74,7 +76,8 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use stms_mem::CmpSimulator;
 use stms_prefetch::MissTraceCollector;
 use stms_types::{
-    Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardJobTiming, ShardManifest,
+    Fingerprint, Fingerprintable, InflightBudget, PipelineConfig, ShardBalance, ShardJobTiming,
+    ShardManifest,
 };
 use stms_workloads::WorkloadSpec;
 
@@ -470,7 +473,27 @@ pub struct Campaign {
     /// Per-job phase log of this campaign's *executed* jobs (flight
     /// leaders), drained into shard manifests by [`Campaign::run_shard`].
     timings: Arc<Mutex<Vec<ShardJobTiming>>>,
+    /// Predictor behind LPT pool ordering and cost-balanced sharding;
+    /// analytic by default, replaced by [`Campaign::set_cost_model`] when
+    /// the CLI calibrates from prior manifests.
+    cost_model: Mutex<JobCostModel>,
+    /// When set, streaming figure runs submit jobs in plan order instead of
+    /// longest-predicted-first — the toggle the LPT byte-identity test
+    /// flips.
+    plan_order: AtomicBool,
+    /// What the last streaming figure run predicted, kept for
+    /// [`Campaign::take_sched_report`]'s predicted-vs-actual comparison.
+    sched: Mutex<Option<SchedLog>>,
     pool: JobPool,
+}
+
+/// Prediction record of one streaming figure submission.
+#[derive(Debug)]
+struct SchedLog {
+    jobs: u64,
+    predicted_total_ns: u128,
+    order: &'static str,
+    predicted_by_fp: HashMap<Fingerprint, u64>,
 }
 
 impl Campaign {
@@ -548,8 +571,37 @@ impl Campaign {
             results,
             flights: Arc::new(FlightTable::default()),
             timings: Arc::new(Mutex::new(Vec::new())),
+            cost_model: Mutex::new(JobCostModel::analytic()),
+            plan_order: AtomicBool::new(false),
+            sched: Mutex::new(None),
             pool: JobPool::new(threads),
         })
+    }
+
+    /// Replaces the job cost model (e.g. with a calibrated one from
+    /// `--calibrate-from`). The model steers LPT pool ordering and
+    /// cost-balanced shard partitioning; it never affects results, only
+    /// scheduling.
+    pub fn set_cost_model(&self, model: JobCostModel) {
+        *self
+            .cost_model
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = model;
+    }
+
+    /// The current job cost model.
+    pub fn cost_model(&self) -> JobCostModel {
+        self.cost_model
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Submits streaming figure jobs in plan order instead of the default
+    /// longest-predicted-first order. Emission order and content are
+    /// identical either way; only pool tail latency differs.
+    pub fn set_plan_order(&self, plan_order: bool) {
+        self.plan_order.store(plan_order, Ordering::Relaxed);
     }
 
     /// The campaign configuration.
@@ -683,6 +735,46 @@ impl Campaign {
         timings
     }
 
+    /// Drains the scheduling record of the last streaming figure run into a
+    /// summary report: how much work the cost model predicted, in which
+    /// order the pool received it, and — matched against the measured phase
+    /// log — the model's actual error. Returns `None` when no streaming run
+    /// happened since the last call. The calibration fields are left empty;
+    /// the CLI fills them when `--calibrate-from` produced the model.
+    pub fn take_sched_report(&self) -> Option<stms_stats::SchedReport> {
+        let log = self
+            .sched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()?;
+        let timings = self.take_timings();
+        let mut abs_err: u128 = 0;
+        let mut observed: u128 = 0;
+        let mut matched = 0u64;
+        for timing in &timings {
+            if let Some(&predicted) = log.predicted_by_fp.get(&timing.fingerprint) {
+                abs_err += u128::from(predicted).abs_diff(u128::from(timing.run_ns));
+                observed += u128::from(timing.run_ns);
+                matched += 1;
+            }
+        }
+        let actual_error_milli =
+            (observed > 0).then(|| u64::try_from(abs_err * 1000 / observed).unwrap_or(u64::MAX));
+        Some(stms_stats::SchedReport {
+            jobs: log.jobs,
+            predicted_total_ns: log.predicted_total_ns,
+            order: Some(log.order.to_string()),
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: matched,
+            actual_error_milli,
+            balance: None,
+            this_shard_ns: None,
+            max_shard_ns: None,
+            mean_shard_ns: None,
+        })
+    }
+
     /// Runs every workload of a suite with the same prefetcher
     /// configuration.
     ///
@@ -810,7 +902,53 @@ impl Campaign {
         }
         let mut parts: Vec<Option<FigurePart>> = parts.into_iter().map(Some).collect();
         let idents = self.job_idents(&jobs);
-        let handle = self.submit_jobs(jobs, Some(labels), cancel);
+
+        // Predict every job's cost and submit longest-first (LPT), so the
+        // expensive cells reach workers before the cheap tail instead of
+        // wherever plan order happened to put them. Everything downstream
+        // stays indexed by *plan* position: the permutation is undone when
+        // completions arrive, which is why rendered output is byte-identical
+        // to plan-order submission.
+        let model = self.cost_model();
+        let costs: Vec<u64> = jobs
+            .iter()
+            .map(|job| model.predicted_ns(&self.cfg, job))
+            .collect();
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let plan_order = self.plan_order.load(Ordering::Relaxed);
+        if !plan_order {
+            order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then_with(|| a.cmp(&b)));
+        }
+        // A run with no jobs scheduled nothing: don't create the (empty)
+        // histogram or a 0-job log — job-free figures must keep stderr as
+        // quiet as they always were.
+        if !jobs.is_empty() {
+            if stms_obs::is_enabled() {
+                let predicted = stms_obs::histogram("sched.predicted_ns");
+                for &cost in &costs {
+                    predicted.record(cost);
+                }
+            }
+            *self.sched.lock().unwrap_or_else(PoisonError::into_inner) = Some(SchedLog {
+                jobs: jobs.len() as u64,
+                predicted_total_ns: costs.iter().map(|&c| u128::from(c)).sum(),
+                order: if plan_order { "plan" } else { "lpt" },
+                predicted_by_fp: idents
+                    .iter()
+                    .zip(&costs)
+                    .map(|((_, fingerprint), &cost)| (*fingerprint, cost))
+                    .collect(),
+            });
+        }
+        let mut slots: Vec<Option<JobSpec>> = jobs.into_iter().map(Some).collect();
+        let submitted: Vec<JobSpec> = order
+            .iter()
+            .map(|&i| slots[i].take().expect("each job submitted once"))
+            .collect();
+        let submitted_labels: Vec<Arc<str>> =
+            order.iter().map(|&i| Arc::clone(&labels[i])).collect();
+
+        let handle = self.submit_jobs(submitted, Some(submitted_labels), cancel);
         let mut outputs: Vec<Option<Result<JobOutput, JobError>>> =
             (0..idents.len()).map(|_| None).collect();
 
@@ -829,7 +967,9 @@ impl Campaign {
             }
         };
         emit_ready(&mut next, &mut parts, &mut outputs, &outstanding, &mut emit);
-        for (i, outcome) in handle {
+        for (submitted, outcome) in handle {
+            // Map the submission slot back to the job's plan position.
+            let i = order[submitted];
             outputs[i] = Some(job_outcome(&idents[i], outcome));
             outstanding[figure_of[i]] -= 1;
             emit_ready(&mut next, &mut parts, &mut outputs, &outstanding, &mut emit);
@@ -841,20 +981,29 @@ impl Campaign {
     /// the sealed-ready manifest plus any per-job failures (see the
     /// [`shard`] module docs for the partition contract).
     ///
+    /// `balance` picks the partition function: [`ShardBalance::Count`] is
+    /// the historical `fingerprint % count` split, [`ShardBalance::Cost`]
+    /// bin-packs by predicted cost ([`cost::partition`]). Either way every
+    /// shard of the fleet computes the identical full partition from the
+    /// same grid and model, with no coordination; the mode is sealed into
+    /// the manifest header and cross-checked at merge.
+    ///
     /// Only the *generate/replay* stage runs — render closures of the plans
     /// are dropped; the merge stage re-derives them from the same figure
     /// selection.
-    pub fn run_shard(&self, plans: Vec<FigurePlan>, spec: ShardSpec) -> ShardRun {
+    pub fn run_shard(
+        &self,
+        plans: Vec<FigurePlan>,
+        spec: ShardSpec,
+        balance: ShardBalance,
+    ) -> ShardRun {
         // The manifest's timing section must describe exactly this shard's
         // executions, not phases left over from earlier batches.
         let _ = self.take_timings();
         let (jobs, _parts) = flatten_plans(plans);
         let distinct = shard::distinct_jobs(&self.cfg, &jobs);
         let jobs_total = distinct.len() as u64;
-        let owned: Vec<(Fingerprint, JobSpec)> = distinct
-            .into_iter()
-            .filter(|(fingerprint, _)| spec.owns(*fingerprint))
-            .collect();
+        let (owned, makespan) = self.owned_slice(distinct, spec, balance);
         // Labels + the fingerprints partitioning already derived — nothing
         // is hashed twice.
         let idents = owned
@@ -880,11 +1029,49 @@ impl Campaign {
                 config: self.cfg.fingerprint(),
                 index: spec.index,
                 count: spec.count,
+                balance,
                 entries,
                 timings: self.take_timings(),
             },
             failures,
+            makespan,
         }
+    }
+
+    /// Partitions the distinct grid and keeps this shard's slice, plus the
+    /// fleet-wide predicted-cost picture for the `scheduling:` summary line
+    /// (and the `sched.shard_cost_spread_milli` gauge).
+    fn owned_slice(
+        &self,
+        distinct: Vec<(Fingerprint, JobSpec)>,
+        spec: ShardSpec,
+        balance: ShardBalance,
+    ) -> (Vec<(Fingerprint, JobSpec)>, ShardMakespan) {
+        let model = self.cost_model();
+        let partition = cost::partition(&model, &self.cfg, &distinct, spec.count, balance);
+        let this_shard_ns = partition.shard_cost_ns[(spec.index - 1) as usize];
+        let max_shard_ns = partition.shard_cost_ns.iter().copied().max().unwrap_or(0);
+        let total: u128 = partition.shard_cost_ns.iter().sum();
+        let mean_shard_ns = total / u128::from(spec.count);
+        if stms_obs::is_enabled() && mean_shard_ns > 0 {
+            let spread = u64::try_from(max_shard_ns * 1000 / mean_shard_ns).unwrap_or(u64::MAX);
+            stms_obs::gauge("sched.shard_cost_spread_milli").set(spread);
+        }
+        let owned = distinct
+            .into_iter()
+            .zip(&partition.owners)
+            .filter(|(_, &owner)| owner == spec.index)
+            .map(|(pair, _)| pair)
+            .collect();
+        (
+            owned,
+            ShardMakespan {
+                balance,
+                this_shard_ns,
+                max_shard_ns,
+                mean_shard_ns,
+            },
+        )
     }
 
     /// Retries a **partial** shard manifest: reruns only the owned jobs
@@ -934,10 +1121,12 @@ impl Campaign {
         let jobs_total = distinct.len() as u64;
         let sealed: std::collections::HashSet<Fingerprint> =
             manifest.entries.iter().map(|(fp, _)| *fp).collect();
-        let owned: Vec<(Fingerprint, JobSpec)> = distinct
-            .into_iter()
-            .filter(|(fingerprint, _)| spec.owns(*fingerprint))
-            .collect();
+        // The manifest says how its fleet partitioned; ownership is
+        // recomputed under the same mode. A cost-balanced manifest heals
+        // correctly only when this campaign's cost model matches the
+        // sealing run's — pass the same `--calibrate-from` (or none, for
+        // the analytic default) the fleet used.
+        let (owned, makespan) = self.owned_slice(distinct, spec, manifest.balance);
         let jobs_owned = owned.len() as u64;
         let missing: Vec<(Fingerprint, JobSpec)> = owned
             .into_iter()
@@ -971,10 +1160,12 @@ impl Campaign {
                 config: manifest.config,
                 index: manifest.index,
                 count: manifest.count,
+                balance: manifest.balance,
                 entries,
                 timings,
             },
             failures,
+            makespan,
         })
     }
 
@@ -1072,7 +1263,7 @@ impl Campaign {
                 }
                 let payload = merged
                     .take_payload(*fingerprint)
-                    .expect("coverage checked and each payload decoded once");
+                    .expect("coverage checked and each payload decoded once")?;
                 let output =
                     JobOutput::decode(&payload).map_err(|error| MergeError::BadOutput {
                         fingerprint: *fingerprint,
@@ -1121,6 +1312,23 @@ pub struct ShardRun {
     /// shard), and the merge stage will report the gap as incomplete
     /// coverage.
     pub failures: Vec<JobError>,
+    /// The fleet-wide predicted-cost picture of the partition this run
+    /// belongs to.
+    pub makespan: ShardMakespan,
+}
+
+/// Predicted per-shard cost of one fleet partition, as seen by one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMakespan {
+    /// How the fleet partitioned.
+    pub balance: ShardBalance,
+    /// Predicted cost of this shard's slice.
+    pub this_shard_ns: u128,
+    /// Predicted cost of the heaviest shard — the fleet's makespan
+    /// estimate.
+    pub max_shard_ns: u128,
+    /// Mean predicted cost per shard (`max / mean` is the spread).
+    pub mean_shard_ns: u128,
 }
 
 impl ShardRun {
@@ -1140,6 +1348,24 @@ impl ShardRun {
         dir: &std::path::Path,
     ) -> std::io::Result<(std::path::PathBuf, u64)> {
         shard::write_manifest(dir, &self.manifest)
+    }
+
+    /// The `scheduling:` summary line data for this shard execution: the
+    /// predicted per-shard cost picture of the partition it belongs to.
+    pub fn sched_report(&self) -> stms_stats::SchedReport {
+        stms_stats::SchedReport {
+            jobs: self.jobs_owned,
+            predicted_total_ns: self.makespan.this_shard_ns,
+            order: None,
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: 0,
+            actual_error_milli: None,
+            balance: Some(self.makespan.balance.label().to_string()),
+            this_shard_ns: Some(self.makespan.this_shard_ns),
+            max_shard_ns: Some(self.makespan.max_shard_ns),
+            mean_shard_ns: Some(self.makespan.mean_shard_ns),
+        }
     }
 
     /// The run-summary line data for this shard execution.
@@ -1713,7 +1939,11 @@ mod tests {
 
         // Seal a complete shard, then amputate two entries to fake the
         // manifest a partially-failed `--shard` run leaves behind.
-        let run = campaign.run_shard(plans(&cfg), ShardSpec::new(1, 1).unwrap());
+        let run = campaign.run_shard(
+            plans(&cfg),
+            ShardSpec::new(1, 1).unwrap(),
+            ShardBalance::Count,
+        );
         assert!(run.is_complete());
         let complete_entries = run.manifest.entries.len();
         assert_eq!(run.jobs_rerun, run.jobs_owned);
@@ -1780,7 +2010,7 @@ mod tests {
         let mut owned_total = 0;
         for index in 1..=2 {
             let spec = ShardSpec::new(index, 2).unwrap();
-            let run = campaign.run_shard(plans(&cfg), spec);
+            let run = campaign.run_shard(plans(&cfg), spec, ShardBalance::Count);
             assert!(run.is_complete(), "{:?}", run.failures);
             assert!(run.error().is_none());
             owned_total += run.jobs_owned;

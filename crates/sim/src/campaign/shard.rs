@@ -9,10 +9,15 @@
 //! lifecycle into independently schedulable stages:
 //!
 //! 1. **Partition.** Every job has a stable content fingerprint
-//!    ([`super::job::job_fingerprint`]). A [`ShardSpec`] `I/N` owns exactly
-//!    the jobs whose `fingerprint % N == I - 1`, so for any job list and any
-//!    `N` the shards are disjoint, cover every job, and agree across
+//!    ([`super::job::job_fingerprint`]). Under the default *count* balance
+//!    a [`ShardSpec`] `I/N` owns exactly the jobs whose
+//!    `fingerprint % N == I - 1`; under *cost* balance
+//!    ([`super::cost::partition`]) ownership comes from deterministic
+//!    greedy bin-packing of predicted job costs. Either way the partition
+//!    is a pure function of the distinct job set, so for any job list and
+//!    any `N` the shards are disjoint, cover every job, and agree across
 //!    processes and job-list orderings — no coordination, no shared state.
+//!    The mode is sealed into every manifest and cross-checked at merge.
 //! 2. **Execute & seal.** [`super::Campaign::run_shard`] runs only the owned
 //!    slice and seals the finished outputs into a versioned
 //!    [`stms_types::ShardManifest`] (`shard-I-of-N.stms`), each entry keyed
@@ -35,8 +40,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use stms_types::{Fingerprint, Fingerprintable, ManifestError, ShardJobTiming, ShardManifest};
+use stms_types::{
+    Fingerprint, Fingerprintable, ManifestError, ShardBalance, ShardJobTiming, ShardManifest,
+};
 
 /// One slice of an `N`-way partition: 1-based `index` out of `count`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,26 +190,51 @@ pub fn list_manifests(dir: &Path) -> Result<Vec<PathBuf>, MergeError> {
     Ok(paths)
 }
 
+/// Where one job's encoded output lives on disk: which manifest file, and
+/// the payload's exact byte range inside it. The merge indexes these
+/// instead of materializing payload bytes, so its resident set tracks the
+/// live figure window no matter how large the manifests are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PayloadRef {
+    /// Owning shard index (for duplicate-job diagnostics).
+    shard: u32,
+    /// Index into [`MergedShards::sources`].
+    source: u32,
+    /// Absolute byte offset of the payload within the sealed file.
+    offset: u64,
+    /// Payload length in bytes.
+    len: u64,
+}
+
 /// A validated set of shard manifests, ready to hydrate job outputs.
 #[derive(Debug)]
 pub struct MergedShards {
     count: u32,
+    balance: ShardBalance,
     // Manifest indices seen, sorted (a shard owning no jobs still seals an
     // empty manifest and counts as present).
     present: Vec<u32>,
-    // Job fingerprint -> (owning shard index, encoded output payload).
-    outputs: HashMap<Fingerprint, (u32, Vec<u8>)>,
+    // The manifest files, in validation order; payload refs index into
+    // this list.
+    sources: Vec<PathBuf>,
+    // Job fingerprint -> where its encoded output lives.
+    outputs: HashMap<Fingerprint, PayloadRef>,
     // Every shard's per-job phase timings, concatenated in manifest order.
     timings: Vec<ShardJobTiming>,
 }
 
 impl MergedShards {
     /// Loads and cross-validates every manifest found in `dirs` against the
-    /// merging campaign's configuration.
+    /// merging campaign's configuration. Each manifest is *streamed*
+    /// ([`ShardManifest::scan`]): validation touches every byte (framing,
+    /// checksums, duplicates) but retains only `(fingerprint, offset, len)`
+    /// per entry — payload bytes are read back on demand by
+    /// [`MergedShards::take_payload`].
     ///
     /// The same directory may be listed more than once (duplicate *paths*
     /// are ignored); two different files claiming the same shard index are
-    /// a [`MergeError::DuplicateShard`].
+    /// a [`MergeError::DuplicateShard`], and manifests partitioned under
+    /// different balance modes are a [`MergeError::BalanceMismatch`].
     ///
     /// # Errors
     ///
@@ -222,57 +255,86 @@ impl MergedShards {
             });
         }
         let mut count: Option<u32> = None;
+        let mut balance: Option<ShardBalance> = None;
         let mut seen_shards: HashMap<u32, PathBuf> = HashMap::new();
-        let mut outputs: HashMap<Fingerprint, (u32, Vec<u8>)> = HashMap::new();
+        let mut sources: Vec<PathBuf> = Vec::new();
+        let mut outputs: HashMap<Fingerprint, PayloadRef> = HashMap::new();
         let mut timings: Vec<ShardJobTiming> = Vec::new();
         for path in paths {
-            let bytes = fs::read(&path).map_err(|e| MergeError::Io {
+            let file = fs::File::open(&path).map_err(|e| MergeError::Io {
                 path: path.clone(),
                 error: e.to_string(),
             })?;
-            let manifest = ShardManifest::open(&bytes).map_err(|error| MergeError::Manifest {
+            let source = sources.len() as u32;
+            // Entry keys are collected first (the scan hands out entries
+            // before its own shard header is returned), then filed under
+            // the validated shard index.
+            let mut entries: Vec<(Fingerprint, u64, u64)> = Vec::new();
+            let scan = ShardManifest::scan(io::BufReader::new(file), |entry| {
+                entries.push((entry.fingerprint, entry.offset, entry.payload.len() as u64));
+            })
+            .map_err(|error| MergeError::Manifest {
                 path: path.clone(),
                 error,
             })?;
-            if manifest.config != expected_config {
+            if scan.config != expected_config {
                 return Err(MergeError::StaleConfig {
                     path,
                     expected: expected_config,
-                    found: manifest.config,
+                    found: scan.config,
                 });
             }
-            let expected_count = *count.get_or_insert(manifest.count);
-            if manifest.count != expected_count {
+            let expected_count = *count.get_or_insert(scan.count);
+            if scan.count != expected_count {
                 return Err(MergeError::CountMismatch {
                     path,
                     expected: expected_count,
-                    found: manifest.count,
+                    found: scan.count,
                 });
             }
-            if let Some(first) = seen_shards.insert(manifest.index, path.clone()) {
+            let expected_balance = *balance.get_or_insert(scan.balance);
+            if scan.balance != expected_balance {
+                return Err(MergeError::BalanceMismatch {
+                    path,
+                    expected: expected_balance,
+                    found: scan.balance,
+                });
+            }
+            if let Some(first) = seen_shards.insert(scan.index, path.clone()) {
                 return Err(MergeError::DuplicateShard {
-                    index: manifest.index,
-                    count: manifest.count,
+                    index: scan.index,
+                    count: scan.count,
                     first,
                     second: path,
                 });
             }
-            timings.extend(manifest.timings);
-            for (fingerprint, payload) in manifest.entries {
-                if let Some((other, _)) = outputs.get(&fingerprint) {
+            timings.extend(scan.timings);
+            for (fingerprint, offset, len) in entries {
+                if let Some(existing) = outputs.get(&fingerprint) {
                     return Err(MergeError::DuplicateJob {
                         fingerprint,
-                        shards: (*other, manifest.index),
+                        shards: (existing.shard, scan.index),
                     });
                 }
-                outputs.insert(fingerprint, (manifest.index, payload));
+                outputs.insert(
+                    fingerprint,
+                    PayloadRef {
+                        shard: scan.index,
+                        source,
+                        offset,
+                        len,
+                    },
+                );
             }
+            sources.push(path);
         }
         let mut present: Vec<u32> = seen_shards.into_keys().collect();
         present.sort_unstable();
         Ok(MergedShards {
             count: count.expect("at least one manifest"),
+            balance: balance.expect("at least one manifest"),
             present,
+            sources,
             outputs,
             timings,
         })
@@ -281,6 +343,11 @@ impl MergedShards {
     /// The shard count the manifests agree on.
     pub fn count(&self) -> u32 {
         self.count
+    }
+
+    /// The balance mode the manifests agree on.
+    pub fn balance(&self) -> ShardBalance {
+        self.balance
     }
 
     /// Number of distinct job outputs carried by the manifest set.
@@ -336,10 +403,30 @@ impl MergedShards {
     /// figure decodes it (and drops the decode after the last consumer), so
     /// peak merge memory tracks the *live* figure window instead of the
     /// whole campaign grid.
-    pub fn take_payload(&mut self, fingerprint: Fingerprint) -> Option<Vec<u8>> {
-        self.outputs
-            .remove(&fingerprint)
-            .map(|(_, payload)| payload)
+    ///
+    /// The payload bytes are read back from the manifest file here, on
+    /// demand — [`MergedShards::load`] validated the file's framing and
+    /// checksums but kept only the byte range. A file mutated between load
+    /// and read-back surfaces as [`MergeError::Io`] or as a decode failure
+    /// downstream; it cannot silently corrupt a figure, because every
+    /// payload still passes [`super::JobOutput::decode`]'s own checks.
+    pub fn take_payload(
+        &mut self,
+        fingerprint: Fingerprint,
+    ) -> Option<Result<Vec<u8>, MergeError>> {
+        let entry = self.outputs.remove(&fingerprint)?;
+        let path = &self.sources[entry.source as usize];
+        let read = || -> io::Result<Vec<u8>> {
+            let mut file = fs::File::open(path)?;
+            file.seek(SeekFrom::Start(entry.offset))?;
+            let mut payload = vec![0u8; entry.len as usize];
+            file.read_exact(&mut payload)?;
+            Ok(payload)
+        };
+        Some(read().map_err(|e| MergeError::Io {
+            path: path.clone(),
+            error: e.to_string(),
+        }))
     }
 }
 
@@ -387,6 +474,17 @@ pub enum MergeError {
         expected: u32,
         /// Count claimed by this file.
         found: u32,
+    },
+    /// Two manifests were partitioned under different balance modes —
+    /// their ownership functions disagree, so their union cannot be a
+    /// consistent partition.
+    BalanceMismatch {
+        /// The disagreeing file.
+        path: PathBuf,
+        /// Balance mode claimed by the manifests seen so far.
+        expected: ShardBalance,
+        /// Balance mode claimed by this file.
+        found: ShardBalance,
     },
     /// Two manifest files claim the same shard index.
     DuplicateShard {
@@ -462,6 +560,16 @@ impl fmt::Display for MergeError {
                 f,
                 "shard manifest `{}` claims {found} total shards, \
                  other manifests claim {expected}",
+                path.display()
+            ),
+            MergeError::BalanceMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard manifest `{}` was partitioned by {found}, \
+                 other manifests by {expected}",
                 path.display()
             ),
             MergeError::DuplicateShard {

@@ -189,6 +189,119 @@ fn shard_flags_validate_their_combinations() {
 }
 
 #[test]
+fn cost_balanced_shards_merge_byte_identical_and_report_makespan() {
+    let dir = temp_dir("cost-balance");
+    let dir_str = dir.to_str().expect("utf-8 temp path").to_string();
+
+    let direct = run_cli(COMMON);
+    assert!(direct.status.success());
+
+    for shard in ["1/2", "2/2"] {
+        let out = run_cli(&with(
+            COMMON,
+            &[
+                "--shard",
+                shard,
+                "--shard-out",
+                &dir_str,
+                "--shard-balance",
+                "cost",
+            ],
+        ));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "shard {shard} stderr: {stderr}");
+        // The scheduling line reports the predicted makespan of the fleet.
+        assert!(stderr.contains("scheduling:"), "{stderr}");
+        assert!(stderr.contains("balance cost"), "{stderr}");
+        assert!(stderr.contains("max shard"), "{stderr}");
+    }
+
+    let merged = run_cli(&with(COMMON, &["--merge-shards", &dir_str]));
+    assert!(
+        merged.status.success(),
+        "merge stderr: {}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&direct.stdout),
+        String::from_utf8_lossy(&merged.stdout),
+        "cost-balanced merge must be byte-identical to the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_rejects_mixed_balance_modes() {
+    let dir = temp_dir("mixed-balance");
+    let dir_str = dir.to_str().expect("utf-8 temp path").to_string();
+
+    // Shard 1 partitioned by cost, shard 2 by the modulo default: the
+    // slices come from different partitions, so the merge must refuse
+    // rather than risk silent gaps or overlaps.
+    let out = run_cli(&with(
+        COMMON,
+        &[
+            "--shard",
+            "1/2",
+            "--shard-out",
+            &dir_str,
+            "--shard-balance",
+            "cost",
+        ],
+    ));
+    assert!(out.status.success());
+    let out = run_cli(&with(COMMON, &["--shard", "2/2", "--shard-out", &dir_str]));
+    assert!(out.status.success());
+
+    let merged = run_cli(&with(COMMON, &["--merge-shards", &dir_str]));
+    assert_eq!(merged.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&merged.stderr);
+    assert!(stderr.contains("partitioned by"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_from_reports_fit_and_keeps_stdout_identical() {
+    let dir = temp_dir("calibrate");
+    let dir_str = dir.to_str().expect("utf-8 temp path").to_string();
+
+    // Seal a manifest so its per-job timings exist to calibrate from.
+    for shard in ["1/2", "2/2"] {
+        let out = run_cli(&with(COMMON, &["--shard", shard, "--shard-out", &dir_str]));
+        assert!(out.status.success());
+    }
+
+    let plain = run_cli(COMMON);
+    assert!(plain.status.success());
+    let calibrated = run_cli(&with(COMMON, &["--calibrate-from", &dir_str]));
+    let stderr = String::from_utf8_lossy(&calibrated.stderr);
+    assert!(calibrated.status.success(), "{stderr}");
+    assert!(stderr.contains("scheduling:"), "{stderr}");
+    assert!(stderr.contains("calibrated on"), "{stderr}");
+    // Calibration reorders the pool at most; figure bytes never move.
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&calibrated.stdout)
+    );
+
+    // A directory with no manifests is a usage error, not a partial run.
+    let empty = temp_dir("calibrate-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = run_cli(&with(
+        COMMON,
+        &["--calibrate-from", empty.to_str().unwrap()],
+    ));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no shard manifest"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
 fn shards_can_share_a_result_cache_with_the_merge_unaffected() {
     // The manifest is the hand-off artifact; a shared --result-cache is an
     // orthogonal accelerator. Both together must still be byte-identical.

@@ -1,11 +1,19 @@
-//! Property tests for the deterministic shard partitioner: for any job list
-//! and any shard count `N`, the shards must be pairwise disjoint, cover
-//! every job, be independent of the job-list ordering, and be stable across
-//! "process runs" (a fresh recomputation from equal inputs).
+//! Property tests for the deterministic shard partitioners: for any job
+//! list and any shard count `N`, the shards must be pairwise disjoint,
+//! cover every job, be independent of the job-list ordering, and be stable
+//! across "process runs" (a fresh recomputation from equal inputs) — under
+//! both the modulo (`count`) and the greedy cost-balanced (`cost`)
+//! assignment. Plus the in-process scheduling invariant: LPT submission
+//! order renders byte-identical figures to plan-order submission.
+
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use stms_sim::campaign::{job_fingerprint, shard::distinct_jobs, JobSpec, ShardSpec};
+use stms_sim::campaign::{
+    cost, job_fingerprint, shard::distinct_jobs, JobCostModel, JobSpec, ShardSpec,
+};
 use stms_sim::{ExperimentConfig, PrefetcherKind};
+use stms_types::{Fingerprint, ShardBalance};
 use stms_workloads::presets;
 
 /// A small pool of distinct workloads to draw from.
@@ -152,6 +160,169 @@ proptest! {
             prop_assert!(shard.owns(fingerprint));
         }
     }
+}
+
+/// Owner of every distinct job keyed by fingerprint — the order-free view
+/// two partitions are compared through.
+fn owners_by_fingerprint(
+    cfg: &ExperimentConfig,
+    jobs: &[JobSpec],
+    count: u32,
+    balance: ShardBalance,
+) -> (BTreeMap<Fingerprint, u32>, Vec<u128>) {
+    let distinct = distinct_jobs(cfg, jobs);
+    let model = JobCostModel::analytic();
+    let partition = cost::partition(&model, cfg, &distinct, count, balance);
+    let owners = distinct
+        .iter()
+        .zip(&partition.owners)
+        .map(|((fingerprint, _), owner)| (*fingerprint, *owner))
+        .collect();
+    (owners, partition.shard_cost_ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cost_partition_is_disjoint_covering_and_accounted(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+        cost_mode in 0usize..2,
+    ) {
+        let balance = if cost_mode == 1 { ShardBalance::Cost } else { ShardBalance::Count };
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        let distinct = distinct_jobs(&cfg, &jobs);
+        let model = JobCostModel::analytic();
+        let partition = cost::partition(&model, &cfg, &distinct, count, balance);
+
+        // One owner per distinct job (disjoint + covering by construction
+        // of the parallel array — but every owner must be a real shard).
+        prop_assert_eq!(partition.owners.len(), distinct.len());
+        for &owner in &partition.owners {
+            prop_assert!(owner >= 1 && owner <= count, "owner {} of {}", owner, count);
+        }
+
+        // Cost accounting: each shard's reported load is exactly the sum
+        // of its jobs' predictions, and nothing is lost or invented.
+        prop_assert_eq!(partition.shard_cost_ns.len(), count as usize);
+        let mut tallied = vec![0u128; count as usize];
+        for ((_, job), &owner) in distinct.iter().zip(&partition.owners) {
+            tallied[owner as usize - 1] += u128::from(model.predicted_ns(&cfg, job));
+        }
+        prop_assert_eq!(&tallied, &partition.shard_cost_ns);
+    }
+
+    #[test]
+    fn cost_partition_ignores_job_list_order(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+        rotation in 0usize..40,
+        cost_mode in 0usize..2,
+    ) {
+        let balance = if cost_mode == 1 { ShardBalance::Cost } else { ShardBalance::Count };
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        let mut rotated = jobs.clone();
+        if !rotated.is_empty() {
+            let mid = rotation % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        prop_assert_eq!(
+            owners_by_fingerprint(&cfg, &jobs, count, balance),
+            owners_by_fingerprint(&cfg, &rotated, count, balance)
+        );
+    }
+
+    #[test]
+    fn cost_partition_is_stable_across_recomputation(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+        cost_mode in 0usize..2,
+    ) {
+        // A "second process": every input rebuilt from the same draws must
+        // reproduce the byte-identical partition — the coordination-free
+        // contract that lets fleet shards compute their slices
+        // independently. Nothing may depend on HashMap iteration order,
+        // allocation addresses, or process identity.
+        let balance = if cost_mode == 1 { ShardBalance::Cost } else { ShardBalance::Count };
+        let cfg = ExperimentConfig::quick();
+        let first = build_jobs(&draws);
+        let second = build_jobs(&draws);
+        prop_assert_eq!(
+            owners_by_fingerprint(&cfg, &first, count, balance),
+            owners_by_fingerprint(&cfg, &second, count, balance)
+        );
+    }
+
+    #[test]
+    fn cost_partition_meets_the_greedy_balance_bounds(
+        draws in arb_job_draws(),
+        count in 1u32..9,
+    ) {
+        // The classical greedy guarantees, which hold for *every* input
+        // (unlike "beats modulo", which a lucky modulo split can violate):
+        // the heaviest shard carries at most the mean load plus one job,
+        // and the spread between heaviest and lightest is at most the
+        // largest single job. Both follow from each job landing on the
+        // then-lightest shard.
+        let cfg = ExperimentConfig::quick();
+        let jobs = build_jobs(&draws);
+        let distinct = distinct_jobs(&cfg, &jobs);
+        let model = JobCostModel::analytic();
+        let partition = cost::partition(&model, &cfg, &distinct, count, ShardBalance::Cost);
+        let max_job = distinct
+            .iter()
+            .map(|(_, job)| u128::from(model.predicted_ns(&cfg, job)))
+            .max()
+            .unwrap_or(0);
+        let total: u128 = partition.shard_cost_ns.iter().sum();
+        let heaviest = partition.shard_cost_ns.iter().max().copied().unwrap_or(0);
+        let lightest = partition.shard_cost_ns.iter().min().copied().unwrap_or(0);
+        prop_assert!(
+            heaviest <= total / u128::from(count) + max_job,
+            "heaviest shard {} exceeds mean {} + max job {}",
+            heaviest,
+            total / u128::from(count),
+            max_job
+        );
+        prop_assert!(
+            heaviest - lightest <= max_job,
+            "spread {} exceeds the largest job {}",
+            heaviest - lightest,
+            max_job
+        );
+    }
+}
+
+#[test]
+fn lpt_submission_renders_byte_identical_to_plan_order() {
+    // The whole point of LPT ordering is that it is *invisible* on stdout:
+    // jobs start in a different order, figures render in selection order
+    // from plan-indexed slots either way. Render the same two figures
+    // under both orders and demand byte equality.
+    let cfg = ExperimentConfig::quick().with_accesses(20_000);
+    let render = |plan_order: bool| -> (Vec<String>, Option<String>) {
+        let campaign = stms_sim::campaign::Campaign::with_threads(cfg.clone(), 2);
+        campaign.set_plan_order(plan_order);
+        let plans: Vec<_> = ["table2", "fig4"]
+            .iter()
+            .map(|id| stms_sim::experiments::plan_for_id(id, &cfg).expect("known id"))
+            .collect();
+        let mut rendered = Vec::new();
+        campaign.run_figures_streaming(plans, |figure| {
+            rendered.push(figure.expect("figure renders").render());
+        });
+        let order = campaign.take_sched_report().and_then(|sched| sched.order);
+        (rendered, order)
+    };
+    let (lpt, lpt_order) = render(false);
+    let (plan, plan_order) = render(true);
+    // Both paths really ran: the sched reports name their orders.
+    assert_eq!(lpt_order.as_deref(), Some("lpt"));
+    assert_eq!(plan_order.as_deref(), Some("plan"));
+    assert_eq!(lpt, plan, "submission order leaked into figure bytes");
 }
 
 #[test]

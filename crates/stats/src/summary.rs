@@ -127,6 +127,90 @@ impl ShardReport {
     }
 }
 
+/// What the cost-model scheduler predicted for one run — the `scheduling:`
+/// summary line. Covers both the in-process LPT submission (predicted
+/// total, calibration quality, predicted-vs-actual error) and a shard run's
+/// fleet picture (per-shard predicted cost and spread). Optional fields
+/// render only when present, so one type serves every run mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedReport {
+    /// Jobs the prediction covered (submitted jobs in-process, owned jobs
+    /// for a shard run).
+    pub jobs: u64,
+    /// Predicted cost of those jobs, in model nanoseconds.
+    pub predicted_total_ns: u128,
+    /// Submission order of the in-process pool (`"lpt"` or `"plan"`);
+    /// `None` for shard runs.
+    pub order: Option<String>,
+    /// Timing records a `--calibrate-from` fit matched, when one ran.
+    pub calibration_samples: Option<u64>,
+    /// In-sample mean absolute error of that fit, in per-mille of observed
+    /// time (123 renders as `12.3%`).
+    pub calibration_error_milli: Option<u64>,
+    /// Executed jobs whose measured run time was matched against a
+    /// prediction.
+    pub actual_jobs: u64,
+    /// Mean absolute prediction error against those measurements, in
+    /// per-mille of observed time.
+    pub actual_error_milli: Option<u64>,
+    /// Shard balance mode (`"cost"` or `"count"`); `None` in-process.
+    pub balance: Option<String>,
+    /// Predicted cost of this shard's slice.
+    pub this_shard_ns: Option<u128>,
+    /// Predicted cost of the heaviest shard (the fleet makespan estimate).
+    pub max_shard_ns: Option<u128>,
+    /// Mean predicted cost per shard.
+    pub mean_shard_ns: Option<u128>,
+}
+
+/// Renders a per-mille value as a percentage with one decimal,
+/// e.g. `123` → `12.3%`.
+fn milli_percent(milli: u64) -> String {
+    format!("{}.{}%", milli / 10, milli % 10)
+}
+
+impl SchedReport {
+    /// One summary line, e.g.
+    /// `scheduling: 24 jobs, predicted 1234 ns, lpt order, calibrated on 24 timings (4.2% error), actual error 12.3% (24 jobs)`
+    /// or, for a shard run,
+    /// `scheduling: 5 jobs, predicted 1234 ns, balance cost: this shard 1234 ns, max shard 2000 ns, spread 1.200x`.
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "scheduling: {} jobs, predicted {} ns",
+            self.jobs, self.predicted_total_ns
+        );
+        if let Some(order) = &self.order {
+            let _ = write!(line, ", {order} order");
+        }
+        if let Some(samples) = self.calibration_samples {
+            let error = milli_percent(self.calibration_error_milli.unwrap_or(0));
+            let _ = write!(line, ", calibrated on {samples} timings ({error} error)");
+        }
+        if let Some(error) = self.actual_error_milli {
+            let _ = write!(
+                line,
+                ", actual error {} ({} jobs)",
+                milli_percent(error),
+                self.actual_jobs
+            );
+        }
+        if let Some(balance) = &self.balance {
+            let this = self.this_shard_ns.unwrap_or(0);
+            let max = self.max_shard_ns.unwrap_or(0);
+            let mean = self.mean_shard_ns.unwrap_or(0);
+            let spread_milli = (max * 1000).checked_div(mean).unwrap_or(0);
+            let _ = write!(
+                line,
+                ", balance {balance}: this shard {this} ns, max shard {max} ns, \
+                 spread {}.{:03}x",
+                spread_milli / 1000,
+                spread_milli % 1000
+            );
+        }
+        line
+    }
+}
+
 /// Counters of the out-of-core replay path (`--stream-traces`): how many
 /// replays were served as chunked streams, how many chunks flowed through
 /// them, and how many attempts had to fall back to regeneration because a
@@ -292,6 +376,7 @@ impl TelemetryReport {
 pub struct RunSummary {
     serves: Vec<ServeReport>,
     shards: Vec<ShardReport>,
+    scheds: Vec<SchedReport>,
     streams: Vec<StreamReport>,
     pipelines: Vec<PipelineReport>,
     reports: Vec<CacheReport>,
@@ -320,6 +405,12 @@ impl RunSummary {
         self.shards.push(report);
     }
 
+    /// Appends the cost-model scheduling report (rendered after the shard
+    /// lines, before the stream lines).
+    pub fn push_sched(&mut self, report: SchedReport) {
+        self.scheds.push(report);
+    }
+
     /// Appends the streamed-replay report (rendered between the shard and
     /// cache lines).
     pub fn push_stream(&mut self, report: StreamReport) {
@@ -344,6 +435,7 @@ impl RunSummary {
         self.reports.is_empty()
             && self.serves.is_empty()
             && self.shards.is_empty()
+            && self.scheds.is_empty()
             && self.streams.is_empty()
             && self.pipelines.is_empty()
             && self.telemetry.as_ref().is_none_or(|t| t.lines.is_empty())
@@ -365,6 +457,11 @@ impl RunSummary {
         for shard in &self.shards {
             out.push_str("  ");
             out.push_str(&shard.render_line());
+            out.push('\n');
+        }
+        for sched in &self.scheds {
+            out.push_str("  ");
+            out.push_str(&sched.render_line());
             out.push('\n');
         }
         for stream in &self.streams {
@@ -580,6 +677,116 @@ mod tests {
         assert!(only_pipeline.is_empty());
         only_pipeline.push_pipeline(PipelineReport::default());
         assert!(!only_pipeline.is_empty());
+    }
+
+    #[test]
+    fn sched_report_renders_in_process_and_shard_forms() {
+        let in_process = SchedReport {
+            jobs: 24,
+            predicted_total_ns: 1234,
+            order: Some("lpt".to_string()),
+            calibration_samples: Some(24),
+            calibration_error_milli: Some(42),
+            actual_jobs: 24,
+            actual_error_milli: Some(123),
+            balance: None,
+            this_shard_ns: None,
+            max_shard_ns: None,
+            mean_shard_ns: None,
+        };
+        assert_eq!(
+            in_process.render_line(),
+            "scheduling: 24 jobs, predicted 1234 ns, lpt order, \
+             calibrated on 24 timings (4.2% error), actual error 12.3% (24 jobs)"
+        );
+
+        let shard = SchedReport {
+            jobs: 5,
+            predicted_total_ns: 1234,
+            order: None,
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: 0,
+            actual_error_milli: None,
+            balance: Some("cost".to_string()),
+            this_shard_ns: Some(1234),
+            max_shard_ns: Some(2000),
+            mean_shard_ns: Some(1600),
+        };
+        assert_eq!(
+            shard.render_line(),
+            "scheduling: 5 jobs, predicted 1234 ns, balance cost: \
+             this shard 1234 ns, max shard 2000 ns, spread 1.250x"
+        );
+
+        // The minimal form: no calibration, no actuals, no shards.
+        let bare = SchedReport {
+            jobs: 2,
+            predicted_total_ns: 10,
+            order: Some("plan".to_string()),
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: 0,
+            actual_error_milli: None,
+            balance: None,
+            this_shard_ns: None,
+            max_shard_ns: None,
+            mean_shard_ns: None,
+        };
+        assert_eq!(
+            bare.render_line(),
+            "scheduling: 2 jobs, predicted 10 ns, plan order"
+        );
+    }
+
+    #[test]
+    fn sched_reports_render_between_shards_and_streams() {
+        let mut summary = RunSummary::new();
+        assert!(summary.is_empty());
+        summary.push(CacheReport::new("traces", 1, 0));
+        summary.push_stream(StreamReport::default());
+        summary.push_sched(SchedReport {
+            jobs: 3,
+            predicted_total_ns: 9,
+            order: Some("lpt".to_string()),
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: 0,
+            actual_error_milli: None,
+            balance: None,
+            this_shard_ns: None,
+            max_shard_ns: None,
+            mean_shard_ns: None,
+        });
+        summary.push_shard(ShardReport {
+            index: 1,
+            count: 1,
+            jobs_total: 3,
+            jobs_owned: 3,
+            jobs_sealed: 3,
+            jobs_failed: 0,
+            manifest_bytes: 1,
+        });
+        let lines: Vec<String> = summary.render().lines().map(str::to_string).collect();
+        assert!(lines[1].starts_with("  shard"), "{}", lines[1]);
+        assert!(lines[2].starts_with("  scheduling:"), "{}", lines[2]);
+        assert!(lines[3].starts_with("  streamed replay:"), "{}", lines[3]);
+
+        let mut only_sched = RunSummary::new();
+        only_sched.push_sched(SchedReport {
+            jobs: 1,
+            predicted_total_ns: 1,
+            order: None,
+            calibration_samples: None,
+            calibration_error_milli: None,
+            actual_jobs: 0,
+            actual_error_milli: None,
+            balance: None,
+            this_shard_ns: None,
+            max_shard_ns: None,
+            mean_shard_ns: None,
+        });
+        assert!(!only_sched.is_empty());
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub use access::{AccessKind, MemAccess};
 pub use addr::{LineAddr, PhysAddr, CACHE_LINE_BYTES};
 pub use fingerprint::{Fingerprint, Fingerprintable, Fingerprinter};
 pub use ids::CoreId;
-pub use manifest::{ManifestError, ShardJobTiming, ShardManifest, MANIFEST_CODEC_VERSION};
+pub use manifest::{
+    ManifestEntry, ManifestError, ManifestScan, ShardBalance, ShardJobTiming, ShardManifest,
+    MANIFEST_CODEC_V2, MANIFEST_CODEC_VERSION,
+};
 pub use stream::pipeline::{
     ChunkPipeline, InflightBudget, PipeStage, PipelineConfig, PipelineInput, PipelineStats,
     StageObserver, MIN_PIPELINE_DEPTH,

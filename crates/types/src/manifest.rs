@@ -4,29 +4,51 @@
 //! hand its finished job outputs to a later merge stage as a single sealed
 //! artifact. This module defines that artifact's *container*: a
 //! [`ShardManifest`] carries the configuration fingerprint the shard ran
-//! under, its 1-based `index` out of `count` shards, and an ordered list of
-//! `(job fingerprint, payload bytes)` entries. The payload bytes are opaque
-//! here — the campaign layer stores `JobOutput::encode` blobs — so the
-//! envelope stays free of simulator types, exactly like [`crate::blob`].
+//! under, its 1-based `index` out of `count` shards, the
+//! [`ShardBalance`] mode the fleet partitioned under, and an ordered list
+//! of `(job fingerprint, payload bytes)` entries. The payload bytes are
+//! opaque here — the campaign layer stores `JobOutput::encode` blobs — so
+//! the envelope stays free of simulator types, exactly like [`crate::blob`].
 //!
 //! On disk a manifest is the body encoding sealed in the shared
 //! [`crate::blob`] envelope under [`MANIFEST_CODEC_VERSION`], keyed by the
 //! fingerprint of the manifest's own header (config fingerprint, index,
-//! count). A reader cannot predict that key before parsing, so
-//! [`ShardManifest::open`] unseals with [`crate::blob::open_any`] and then
+//! count). A reader cannot predict that key before parsing, so the open
+//! path peeks the envelope with [`crate::blob::parse_header`] and then
 //! cross-checks the recorded key against the header it decoded — a renamed
 //! or spliced file fails closed.
+//!
+//! # Versions
+//!
+//! The body layout is versioned through the blob codec field, mirroring the
+//! trace chunk codec: [`ShardManifest::open`] and [`ShardManifest::scan`]
+//! dispatch on the recorded version, so every historical manifest stays
+//! readable with no flags.
+//!
+//! * **v2** (legacy): a flat run of entries followed by the timing section.
+//!   Readable, no longer written (except by [`ShardManifest::seal_v2`],
+//!   which exists for cross-version tests). Carries no balance mode; v2
+//!   fleets always partitioned by `fingerprint % count`, so readers report
+//!   [`ShardBalance::Count`].
+//! * **v3** (current): entries are packed into *chunks*, each framed by its
+//!   own length and checksum — the same per-chunk framing the columnar
+//!   trace codec uses. [`ShardManifest::scan`] exploits the framing to
+//!   validate a manifest of any size in bounded memory (one chunk resident
+//!   at a time) while handing each entry's absolute payload offset to the
+//!   caller, so a merge can index payloads and read them back on demand
+//!   instead of materializing every output at once.
 //!
 //! # Example
 //!
 //! ```
-//! use stms_types::manifest::ShardManifest;
+//! use stms_types::manifest::{ShardBalance, ShardManifest};
 //! use stms_types::Fingerprint;
 //!
 //! let manifest = ShardManifest {
 //!     config: Fingerprint::from_raw(7),
 //!     index: 1,
 //!     count: 2,
+//!     balance: ShardBalance::Cost,
 //!     entries: vec![(Fingerprint::from_raw(11), b"output".to_vec())],
 //!     timings: Vec::new(),
 //! };
@@ -38,11 +60,79 @@
 use crate::blob::{self, BlobError};
 use crate::fingerprint::{Fingerprint, Fingerprinter};
 use std::fmt;
+use std::io::Read;
 
-/// Version of the manifest body layout. Bump when the encoding changes; old
-/// files then fail the blob codec check and merge reports them as unusable
-/// instead of misreading them. v2 appended the per-job timing section.
-pub const MANIFEST_CODEC_VERSION: u16 = 2;
+/// Version of the manifest body layout written by [`ShardManifest::seal`].
+/// Bump when the encoding changes and teach the readers to dispatch; v2
+/// appended the per-job timing section, v3 added the balance-mode header
+/// byte and chunk-framed entries for bounded-memory streaming reads.
+pub const MANIFEST_CODEC_VERSION: u16 = 3;
+
+/// The legacy flat body layout (readable, no longer written).
+pub const MANIFEST_CODEC_V2: u16 = 2;
+
+/// Target encoded size of one entry chunk in a v3 manifest. Chunks are
+/// packed greedily: an entry larger than the target gets a chunk of its
+/// own (entries are never split, so every payload stays contiguous on
+/// disk and addressable by one `(offset, len)` pair).
+pub const MANIFEST_CHUNK_BYTES: usize = 256 * 1024;
+
+/// How a fleet partitioned the distinct job grid across shards. Sealed
+/// into every v3 manifest so a merge can verify all shards agreed on the
+/// same partition function before trusting their coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardBalance {
+    /// Modulo partition: shard `i` of `n` owns jobs with
+    /// `fingerprint % n == i - 1`. Splits job *count* evenly.
+    #[default]
+    Count,
+    /// Greedy LPT bin-packing over predicted job costs: splits predicted
+    /// *work* evenly. Deterministic, so every shard computes the same
+    /// partition from the same grid and cost model.
+    Cost,
+}
+
+impl ShardBalance {
+    /// The byte this mode encodes to in a v3 manifest header.
+    pub fn code(self) -> u8 {
+        match self {
+            ShardBalance::Count => 0,
+            ShardBalance::Cost => 1,
+        }
+    }
+
+    /// Decodes a v3 header byte; `None` for bytes no known mode uses.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ShardBalance::Count),
+            1 => Some(ShardBalance::Cost),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode (`count` / `cost`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardBalance::Count => "count",
+            ShardBalance::Cost => "cost",
+        }
+    }
+
+    /// Parses the CLI spelling accepted by `--shard-balance`.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "count" => Some(ShardBalance::Count),
+            "cost" => Some(ShardBalance::Cost),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ShardBalance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Wall-clock phase timings of one job as measured by the shard that ran
 /// it, keyed by the same stable job fingerprint as the output entries.
@@ -69,11 +159,48 @@ pub struct ShardManifest {
     pub index: u32,
     /// Total number of shards in the partition.
     pub count: u32,
+    /// Partition function the fleet ran under. Merge rejects mixed fleets:
+    /// a `cost` shard and a `count` shard of the same campaign computed
+    /// different ownership and cannot have consistent coverage.
+    pub balance: ShardBalance,
     /// `(job fingerprint, opaque payload)` pairs, in the shard's job order.
     pub entries: Vec<(Fingerprint, Vec<u8>)>,
     /// Per-job phase timings measured on this shard. Independent of
     /// `entries`: a timing may describe a job whose output was deduplicated
     /// away, and an entry may carry no timing (e.g. a pure memo hit).
+    pub timings: Vec<ShardJobTiming>,
+}
+
+/// One entry surfaced by [`ShardManifest::scan`], with enough position
+/// information for the caller to read the payload back later without
+/// keeping it in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry<'a> {
+    /// Stable fingerprint of the job this output belongs to.
+    pub fingerprint: Fingerprint,
+    /// Absolute byte offset of the payload within the sealed file.
+    pub offset: u64,
+    /// The payload bytes (borrowed from the chunk buffer; copy to keep).
+    pub payload: &'a [u8],
+}
+
+/// Everything [`ShardManifest::scan`] retains after streaming a manifest:
+/// the header fields and the (small) timing section, but none of the
+/// entry payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestScan {
+    /// Fingerprint of the campaign configuration the shard ran under.
+    pub config: Fingerprint,
+    /// 1-based shard index.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+    /// Partition function the fleet ran under ([`ShardBalance::Count`] for
+    /// v2 manifests, which predate the field).
+    pub balance: ShardBalance,
+    /// Number of entries the scan surfaced.
+    pub entry_count: u64,
+    /// Per-job phase timings measured on the shard.
     pub timings: Vec<ShardJobTiming>,
 }
 
@@ -96,8 +223,61 @@ impl ShardManifest {
         format!("shard-{}-of-{}.stms", self.index, self.count)
     }
 
-    /// Encodes and seals the manifest into the bytes written to disk.
+    /// Encodes and seals the manifest into the bytes written to disk
+    /// (current layout, [`MANIFEST_CODEC_VERSION`]).
     pub fn seal(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.config.raw().to_le_bytes());
+        body.extend_from_slice(&self.index.to_le_bytes());
+        body.extend_from_slice(&self.count.to_le_bytes());
+        body.push(self.balance.code());
+        body.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        // Pack entries greedily into framed chunks. Chunk boundaries never
+        // split an entry, so a chunk holding one oversized payload may
+        // exceed the target; that keeps every payload contiguous.
+        let mut chunks: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0;
+        let mut chunk_bytes = 0usize;
+        for (i, (_, payload)) in self.entries.iter().enumerate() {
+            let encoded = 24 + payload.len();
+            if i > start && chunk_bytes + encoded > MANIFEST_CHUNK_BYTES {
+                chunks.push(start..i);
+                start = i;
+                chunk_bytes = 0;
+            }
+            chunk_bytes += encoded;
+        }
+        if start < self.entries.len() {
+            chunks.push(start..self.entries.len());
+        }
+        body.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
+        let mut chunk_body = Vec::new();
+        for chunk in chunks {
+            chunk_body.clear();
+            for (fingerprint, payload) in &self.entries[chunk] {
+                chunk_body.extend_from_slice(&fingerprint.raw().to_le_bytes());
+                chunk_body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                chunk_body.extend_from_slice(payload);
+            }
+            let mut hasher = Fingerprinter::new();
+            hasher.write_bytes(&chunk_body);
+            body.extend_from_slice(&(chunk_body.len() as u64).to_le_bytes());
+            body.extend_from_slice(&chunk_body);
+            body.extend_from_slice(&blob::checksum_finish(&hasher).to_le_bytes());
+        }
+        encode_timings(&mut body, &self.timings);
+        blob::seal(
+            MANIFEST_CODEC_VERSION,
+            Self::seal_key(self.config, self.index, self.count),
+            &body,
+        )
+    }
+
+    /// Encodes the manifest in the legacy v2 flat layout. Kept so
+    /// cross-version tests (and tools that must interoperate with v2-era
+    /// fleets) can produce historical files; v2 has no balance field, so
+    /// reopening always reports [`ShardBalance::Count`].
+    pub fn seal_v2(&self) -> Vec<u8> {
         let mut body = Vec::new();
         body.extend_from_slice(&self.config.raw().to_le_bytes());
         body.extend_from_slice(&self.index.to_le_bytes());
@@ -108,21 +288,17 @@ impl ShardManifest {
             body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             body.extend_from_slice(payload);
         }
-        body.extend_from_slice(&(self.timings.len() as u64).to_le_bytes());
-        for timing in &self.timings {
-            body.extend_from_slice(&timing.fingerprint.raw().to_le_bytes());
-            body.extend_from_slice(&timing.queue_ns.to_le_bytes());
-            body.extend_from_slice(&timing.run_ns.to_le_bytes());
-        }
+        encode_timings(&mut body, &self.timings);
         blob::seal(
-            MANIFEST_CODEC_VERSION,
+            MANIFEST_CODEC_V2,
             Self::seal_key(self.config, self.index, self.count),
             &body,
         )
     }
 
     /// Unseals and decodes a manifest previously produced by
-    /// [`ShardManifest::seal`].
+    /// [`ShardManifest::seal`] (or a legacy v2 writer — the recorded codec
+    /// version picks the decoder).
     ///
     /// # Errors
     ///
@@ -131,72 +307,362 @@ impl ShardManifest {
     /// `1..=count`), the recorded blob key disagrees with the decoded header,
     /// or an entry fingerprint repeats within the manifest.
     pub fn open(data: &[u8]) -> Result<Self, ManifestError> {
-        let (recorded_key, body) = blob::open_any(data, MANIFEST_CODEC_VERSION)?;
-        let mut body = body;
-        let truncated = |what| ManifestError::Truncated { what };
-        let mut take = |n: usize, what: &'static str| -> Result<&[u8], ManifestError> {
-            let (head, rest) = body.split_at_checked(n).ok_or(truncated(what))?;
-            body = rest;
-            Ok(head)
-        };
-        let config = Fingerprint::from_raw(u128::from_le_bytes(
-            take(16, "config fingerprint")?
+        let mut entries = Vec::new();
+        let scan = Self::scan(data, |entry| {
+            entries.push((entry.fingerprint, entry.payload.to_vec()));
+        })?;
+        Ok(ShardManifest {
+            config: scan.config,
+            index: scan.index,
+            count: scan.count,
+            balance: scan.balance,
+            entries,
+            timings: scan.timings,
+        })
+    }
+
+    /// Streams a sealed manifest from `reader`, invoking `on_entry` once per
+    /// entry and returning the header and timing section. Version-dispatched
+    /// like [`ShardManifest::open`], with one memory guarantee the eager
+    /// path cannot give: for v3 files only one chunk buffer is resident at a
+    /// time, so a merge over million-job manifests can validate everything
+    /// and index payload offsets without materializing any payload set. (A
+    /// v2 file has no chunk framing and is transiently buffered whole.)
+    ///
+    /// Every validation `open` performs happens here too — envelope, key,
+    /// shard coordinates, per-chunk checksums, the whole-payload checksum
+    /// (accumulated incrementally), duplicate fingerprints, trailing data.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardManifest::open`], plus [`ManifestError::Io`] when the
+    /// reader itself fails.
+    pub fn scan<R: Read>(
+        reader: R,
+        mut on_entry: impl FnMut(ManifestEntry<'_>),
+    ) -> Result<ManifestScan, ManifestError> {
+        let mut reader = reader;
+        let mut header_bytes = [0u8; blob::HEADER_LEN];
+        let mut got = 0;
+        while got < blob::HEADER_LEN {
+            match reader.read(&mut header_bytes[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(err) => {
+                    return Err(ManifestError::Io {
+                        error: err.to_string(),
+                    })
+                }
+            }
+        }
+        // On a short file, let `parse_header` name the first missing field
+        // so truncated prefixes read exactly as they always have.
+        let header = blob::parse_header(&header_bytes[..got])?;
+        match header.codec_version {
+            MANIFEST_CODEC_V2 => scan_v2(&header_bytes, reader, &mut on_entry),
+            MANIFEST_CODEC_VERSION => scan_v3(header, reader, &mut on_entry),
+            found => Err(ManifestError::Blob(BlobError::CodecVersionMismatch {
+                found,
+                expected: MANIFEST_CODEC_VERSION,
+            })),
+        }
+    }
+}
+
+fn encode_timings(body: &mut Vec<u8>, timings: &[ShardJobTiming]) {
+    body.extend_from_slice(&(timings.len() as u64).to_le_bytes());
+    for timing in timings {
+        body.extend_from_slice(&timing.fingerprint.raw().to_le_bytes());
+        body.extend_from_slice(&timing.queue_ns.to_le_bytes());
+        body.extend_from_slice(&timing.run_ns.to_le_bytes());
+    }
+}
+
+fn read_exact<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), ManifestError> {
+    reader.read_exact(buf).map_err(|err| {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            ManifestError::Truncated { what }
+        } else {
+            ManifestError::Io {
+                error: err.to_string(),
+            }
+        }
+    })
+}
+
+/// Decodes the legacy flat layout. The file was already partially consumed
+/// (its blob header); the rest is buffered whole — v2 predates chunk
+/// framing, so its single trailing checksum can only be verified against
+/// the complete payload.
+fn scan_v2<R: Read>(
+    header_bytes: &[u8; blob::HEADER_LEN],
+    mut reader: R,
+    on_entry: &mut impl FnMut(ManifestEntry<'_>),
+) -> Result<ManifestScan, ManifestError> {
+    let mut data = header_bytes.to_vec();
+    reader
+        .read_to_end(&mut data)
+        .map_err(|err| ManifestError::Io {
+            error: err.to_string(),
+        })?;
+    let (recorded_key, body) = blob::open_any(&data, MANIFEST_CODEC_V2)?;
+    let mut cursor = Cursor { body, at: 0 };
+    let config = Fingerprint::from_raw(u128::from_le_bytes(
+        cursor
+            .take(16, "config fingerprint")?
+            .try_into()
+            .expect("16 bytes"),
+    ));
+    let index = u32::from_le_bytes(cursor.take(4, "shard index")?.try_into().expect("4 bytes"));
+    let count = u32::from_le_bytes(cursor.take(4, "shard count")?.try_into().expect("4 bytes"));
+    if count == 0 || index == 0 || index > count {
+        return Err(ManifestError::BadShard { index, count });
+    }
+    if recorded_key != ShardManifest::seal_key(config, index, count) {
+        return Err(ManifestError::KeyMismatch);
+    }
+    let entry_count =
+        u64::from_le_bytes(cursor.take(8, "entry count")?.try_into().expect("8 bytes")) as usize;
+    let mut seen = std::collections::HashSet::with_capacity(entry_count.min(1 << 16));
+    for _ in 0..entry_count {
+        let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
+            cursor
+                .take(16, "entry fingerprint")?
                 .try_into()
                 .expect("16 bytes"),
         ));
-        let index = u32::from_le_bytes(take(4, "shard index")?.try_into().expect("4 bytes"));
-        let count = u32::from_le_bytes(take(4, "shard count")?.try_into().expect("4 bytes"));
-        if count == 0 || index == 0 || index > count {
-            return Err(ManifestError::BadShard { index, count });
+        let len = u64::from_le_bytes(cursor.take(8, "entry length")?.try_into().expect("8 bytes"))
+            as usize;
+        let payload_offset = (blob::HEADER_LEN + cursor.at) as u64;
+        let payload = cursor.take(len, "entry payload")?;
+        if !seen.insert(fingerprint) {
+            return Err(ManifestError::DuplicateEntry { fingerprint });
         }
-        if recorded_key != Self::seal_key(config, index, count) {
-            return Err(ManifestError::KeyMismatch);
+        on_entry(ManifestEntry {
+            fingerprint,
+            offset: payload_offset,
+            payload,
+        });
+    }
+    let timing_count =
+        u64::from_le_bytes(cursor.take(8, "timing count")?.try_into().expect("8 bytes")) as usize;
+    let mut timings = Vec::with_capacity(timing_count.min(1 << 16));
+    for _ in 0..timing_count {
+        let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
+            cursor
+                .take(16, "timing fingerprint")?
+                .try_into()
+                .expect("16 bytes"),
+        ));
+        let queue_ns =
+            u64::from_le_bytes(cursor.take(8, "timing queue")?.try_into().expect("8 bytes"));
+        let run_ns = u64::from_le_bytes(cursor.take(8, "timing run")?.try_into().expect("8 bytes"));
+        timings.push(ShardJobTiming {
+            fingerprint,
+            queue_ns,
+            run_ns,
+        });
+    }
+    if cursor.at != cursor.body.len() {
+        return Err(ManifestError::TrailingData);
+    }
+    Ok(ManifestScan {
+        config,
+        index,
+        count,
+        balance: ShardBalance::Count,
+        entry_count: entry_count as u64,
+        timings,
+    })
+}
+
+/// A bounds-checked cursor over an in-memory manifest body (the v2 path).
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ManifestError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or(ManifestError::Truncated { what })?;
+        let slice = self
+            .body
+            .get(self.at..end)
+            .ok_or(ManifestError::Truncated { what })?;
+        self.at = end;
+        Ok(slice)
+    }
+}
+
+/// Streaming body reader for the v3 path: every read is bounds-checked
+/// against the declared payload length, folded into the incremental
+/// whole-payload checksum, and tracked so absolute offsets can be
+/// reported.
+struct BodyReader<R> {
+    reader: R,
+    consumed: u64,
+    payload_len: u64,
+    hasher: Fingerprinter,
+}
+
+impl<R: Read> BodyReader<R> {
+    fn read_body(&mut self, buf: &mut [u8], what: &'static str) -> Result<(), ManifestError> {
+        if self.consumed + buf.len() as u64 > self.payload_len {
+            return Err(ManifestError::Truncated { what });
         }
-        let entry_count =
-            u64::from_le_bytes(take(8, "entry count")?.try_into().expect("8 bytes")) as usize;
-        let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
-        let mut seen = std::collections::HashSet::with_capacity(entry_count.min(1 << 16));
-        for _ in 0..entry_count {
-            let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
-                take(16, "entry fingerprint")?.try_into().expect("16 bytes"),
-            ));
-            let len =
-                u64::from_le_bytes(take(8, "entry length")?.try_into().expect("8 bytes")) as usize;
-            let payload = take(len, "entry payload")?.to_vec();
+        read_exact(&mut self.reader, buf, what)?;
+        self.hasher.write_bytes(buf);
+        self.consumed += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// Streams the chunk-framed v3 layout: fixed header, framed entry chunks
+/// (validated one at a time), timing section, whole-payload checksum.
+fn scan_v3<R: Read>(
+    header: blob::BlobHeader,
+    reader: R,
+    on_entry: &mut impl FnMut(ManifestEntry<'_>),
+) -> Result<ManifestScan, ManifestError> {
+    let payload_len = header.payload_len;
+    let mut body = BodyReader {
+        reader,
+        consumed: 0,
+        payload_len,
+        hasher: Fingerprinter::new(),
+    };
+    let mut fixed = [0u8; 16 + 4 + 4 + 1 + 8 + 8];
+    body.read_body(&mut fixed, "manifest header")?;
+    let config = Fingerprint::from_raw(u128::from_le_bytes(fixed[0..16].try_into().unwrap()));
+    let index = u32::from_le_bytes(fixed[16..20].try_into().unwrap());
+    let count = u32::from_le_bytes(fixed[20..24].try_into().unwrap());
+    let balance_code = fixed[24];
+    let entry_count = u64::from_le_bytes(fixed[25..33].try_into().unwrap());
+    let chunk_count = u64::from_le_bytes(fixed[33..41].try_into().unwrap());
+    if count == 0 || index == 0 || index > count {
+        return Err(ManifestError::BadShard { index, count });
+    }
+    if header.key != ShardManifest::seal_key(config, index, count) {
+        return Err(ManifestError::KeyMismatch);
+    }
+    let balance = ShardBalance::from_code(balance_code)
+        .ok_or(ManifestError::BadBalance { code: balance_code })?;
+    // An entry costs at least 24 framing bytes, a chunk at least 16: a
+    // vandalized count cannot force an absurd allocation.
+    if entry_count.saturating_mul(24) > payload_len || chunk_count.saturating_mul(16) > payload_len
+    {
+        return Err(ManifestError::Truncated {
+            what: "entry count",
+        });
+    }
+    let mut seen = std::collections::HashSet::with_capacity((entry_count as usize).min(1 << 16));
+    let mut surfaced: u64 = 0;
+    let mut chunk = Vec::new();
+    for chunk_index in 0..chunk_count {
+        let mut frame = [0u8; 8];
+        body.read_body(&mut frame, "chunk length")?;
+        let chunk_len = u64::from_le_bytes(frame);
+        if body.consumed + chunk_len + 8 > payload_len {
+            return Err(ManifestError::Truncated { what: "chunk body" });
+        }
+        chunk.clear();
+        chunk.resize(chunk_len as usize, 0);
+        let chunk_start = blob::HEADER_LEN as u64 + body.consumed;
+        body.read_body(&mut chunk, "chunk body")?;
+        let mut check = [0u8; 8];
+        body.read_body(&mut check, "chunk checksum")?;
+        let mut chunk_hasher = Fingerprinter::new();
+        chunk_hasher.write_bytes(&chunk);
+        if u64::from_le_bytes(check) != blob::checksum_finish(&chunk_hasher) {
+            return Err(ManifestError::ChunkChecksum { chunk: chunk_index });
+        }
+        // Walk the entries packed inside this chunk; they must tile it
+        // exactly.
+        let mut at = 0usize;
+        while at < chunk.len() {
+            if chunk.len() - at < 24 {
+                return Err(ManifestError::Truncated {
+                    what: "chunk entry",
+                });
+            }
+            let fingerprint =
+                Fingerprint::from_raw(u128::from_le_bytes(chunk[at..at + 16].try_into().unwrap()));
+            let len = u64::from_le_bytes(chunk[at + 16..at + 24].try_into().unwrap()) as usize;
+            at += 24;
+            let payload = chunk.get(at..at + len).ok_or(ManifestError::Truncated {
+                what: "chunk entry",
+            })?;
             if !seen.insert(fingerprint) {
                 return Err(ManifestError::DuplicateEntry { fingerprint });
             }
-            entries.push((fingerprint, payload));
-        }
-        let timing_count =
-            u64::from_le_bytes(take(8, "timing count")?.try_into().expect("8 bytes")) as usize;
-        let mut timings = Vec::with_capacity(timing_count.min(1 << 16));
-        for _ in 0..timing_count {
-            let fingerprint = Fingerprint::from_raw(u128::from_le_bytes(
-                take(16, "timing fingerprint")?
-                    .try_into()
-                    .expect("16 bytes"),
-            ));
-            let queue_ns =
-                u64::from_le_bytes(take(8, "timing queue")?.try_into().expect("8 bytes"));
-            let run_ns = u64::from_le_bytes(take(8, "timing run")?.try_into().expect("8 bytes"));
-            timings.push(ShardJobTiming {
+            on_entry(ManifestEntry {
                 fingerprint,
-                queue_ns,
-                run_ns,
+                offset: chunk_start + at as u64,
+                payload,
             });
+            at += len;
+            surfaced += 1;
         }
-        if !body.is_empty() {
-            return Err(ManifestError::TrailingData);
-        }
-        Ok(ShardManifest {
-            config,
-            index,
-            count,
-            entries,
-            timings,
-        })
     }
+    if surfaced != entry_count {
+        return Err(ManifestError::Truncated {
+            what: "declared entries",
+        });
+    }
+    let mut frame = [0u8; 8];
+    body.read_body(&mut frame, "timing count")?;
+    let timing_count = u64::from_le_bytes(frame);
+    if body.consumed + timing_count.saturating_mul(32) > payload_len {
+        return Err(ManifestError::Truncated {
+            what: "timing count",
+        });
+    }
+    let mut timings = Vec::with_capacity((timing_count as usize).min(1 << 16));
+    for _ in 0..timing_count {
+        let mut record = [0u8; 32];
+        body.read_body(&mut record, "timing record")?;
+        timings.push(ShardJobTiming {
+            fingerprint: Fingerprint::from_raw(u128::from_le_bytes(
+                record[0..16].try_into().unwrap(),
+            )),
+            queue_ns: u64::from_le_bytes(record[16..24].try_into().unwrap()),
+            run_ns: u64::from_le_bytes(record[24..32].try_into().unwrap()),
+        });
+    }
+    if body.consumed != payload_len {
+        return Err(ManifestError::TrailingData);
+    }
+    let mut recorded = [0u8; 8];
+    read_exact(&mut body.reader, &mut recorded, "checksum")?;
+    if u64::from_le_bytes(recorded) != blob::checksum_finish(&body.hasher) {
+        return Err(ManifestError::Blob(BlobError::ChecksumMismatch));
+    }
+    let mut extra = [0u8; 1];
+    match body.reader.read(&mut extra) {
+        Ok(0) => {}
+        Ok(_) => return Err(ManifestError::Blob(BlobError::TrailingData)),
+        Err(err) => {
+            return Err(ManifestError::Io {
+                error: err.to_string(),
+            })
+        }
+    }
+    Ok(ManifestScan {
+        config,
+        index,
+        count,
+        balance,
+        entry_count,
+        timings,
+    })
 }
 
 /// Why a sealed shard manifest could not be opened.
@@ -218,6 +684,11 @@ pub enum ManifestError {
         /// Count found in the header (must be non-zero).
         count: u32,
     },
+    /// The v3 balance-mode byte is one this build does not know.
+    BadBalance {
+        /// The unknown byte.
+        code: u8,
+    },
     /// The blob key does not match the decoded header — a renamed or
     /// spliced file.
     KeyMismatch,
@@ -226,8 +697,18 @@ pub enum ManifestError {
         /// The repeated fingerprint.
         fingerprint: Fingerprint,
     },
+    /// A framed entry chunk failed its own checksum.
+    ChunkChecksum {
+        /// Zero-based index of the corrupt chunk.
+        chunk: u64,
+    },
     /// Extra bytes follow the last entry.
     TrailingData,
+    /// The underlying reader failed (streaming scans only).
+    Io {
+        /// The I/O error message.
+        error: String,
+    },
 }
 
 impl From<BlobError> for ManifestError {
@@ -246,13 +727,20 @@ impl fmt::Display for ManifestError {
             ManifestError::BadShard { index, count } => {
                 write!(f, "shard manifest claims invalid shard {index}/{count}")
             }
+            ManifestError::BadBalance { code } => {
+                write!(f, "shard manifest has unknown balance mode byte {code}")
+            }
             ManifestError::KeyMismatch => {
                 write!(f, "shard manifest key does not match its header")
             }
             ManifestError::DuplicateEntry { fingerprint } => {
                 write!(f, "shard manifest repeats job fingerprint {fingerprint}")
             }
+            ManifestError::ChunkChecksum { chunk } => {
+                write!(f, "shard manifest entry chunk {chunk} failed its checksum")
+            }
             ManifestError::TrailingData => write!(f, "trailing bytes after shard manifest"),
+            ManifestError::Io { error } => write!(f, "shard manifest read failed: {error}"),
         }
     }
 }
@@ -268,6 +756,7 @@ mod tests {
             config: Fingerprint::from_raw(0xfeed_beef),
             index: 2,
             count: 3,
+            balance: ShardBalance::Count,
             entries: vec![
                 (Fingerprint::from_raw(1), vec![1, 2, 3]),
                 (Fingerprint::from_raw(2), Vec::new()),
@@ -302,19 +791,81 @@ mod tests {
     }
 
     #[test]
+    fn balance_mode_survives_the_round_trip() {
+        let manifest = ShardManifest {
+            balance: ShardBalance::Cost,
+            ..sample()
+        };
+        let back = ShardManifest::open(&manifest.seal()).unwrap();
+        assert_eq!(back.balance, ShardBalance::Cost);
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn v2_files_stay_readable_and_report_count_balance() {
+        // Cross-version: a legacy flat-layout file opens with no flags and
+        // decodes identically (v2 predates the balance field, so it reads
+        // back as the modulo partition every v2 fleet used).
+        let manifest = sample();
+        let legacy = manifest.seal_v2();
+        let back = ShardManifest::open(&legacy).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.balance, ShardBalance::Count);
+        // And the two encodings genuinely differ on disk.
+        assert_ne!(legacy, manifest.seal());
+    }
+
+    #[test]
+    fn unknown_codec_versions_are_rejected() {
+        let body = [0u8; 4];
+        let sealed = blob::seal(9, Fingerprint::from_raw(1), &body);
+        assert!(matches!(
+            ShardManifest::open(&sealed),
+            Err(ManifestError::Blob(BlobError::CodecVersionMismatch {
+                found: 9,
+                expected: MANIFEST_CODEC_VERSION,
+            }))
+        ));
+    }
+
+    #[test]
+    fn scan_streams_entries_with_their_disk_offsets() {
+        // Thirty 10 KiB payloads overflow one 256 KiB chunk target, so this
+        // exercises multi-chunk framing; every reported offset must point
+        // at the payload bytes inside the sealed file.
+        let manifest = ShardManifest {
+            entries: (0..30)
+                .map(|i| (Fingerprint::from_raw(1000 + i), vec![i as u8; 10 * 1024]))
+                .collect(),
+            ..sample()
+        };
+        for sealed in [manifest.seal(), manifest.seal_v2()] {
+            let mut seen = Vec::new();
+            let scan = ShardManifest::scan(&sealed[..], |entry| {
+                let at = entry.offset as usize;
+                assert_eq!(&sealed[at..at + entry.payload.len()], entry.payload);
+                seen.push((entry.fingerprint, entry.payload.to_vec()));
+            })
+            .unwrap();
+            assert_eq!(seen, manifest.entries);
+            assert_eq!(scan.entry_count, 30);
+            assert_eq!(scan.timings, manifest.timings);
+            assert_eq!(
+                (scan.config, scan.index, scan.count),
+                (manifest.config, 2, 3)
+            );
+        }
+    }
+
+    #[test]
     fn corruption_and_truncation_fail_closed() {
-        let sealed = sample().seal();
-        let mut bad = sealed.clone();
-        let mid = bad.len() / 2;
-        bad[mid] ^= 0xff;
-        assert!(matches!(
-            ShardManifest::open(&bad),
-            Err(ManifestError::Blob(_))
-        ));
-        assert!(matches!(
-            ShardManifest::open(&sealed[..sealed.len() / 2]),
-            Err(ManifestError::Blob(BlobError::Truncated { .. }))
-        ));
+        for sealed in [sample().seal(), sample().seal_v2()] {
+            let mut bad = sealed.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0xff;
+            assert!(ShardManifest::open(&bad).is_err());
+            assert!(ShardManifest::open(&sealed[..sealed.len() / 2]).is_err());
+        }
         assert!(matches!(
             ShardManifest::open(b"not a manifest"),
             Err(ManifestError::Blob(_))
@@ -322,9 +873,51 @@ mod tests {
     }
 
     #[test]
+    fn chunk_corruption_names_the_chunk() {
+        // Corrupt one payload byte inside the first framed chunk of a v3
+        // manifest: the per-chunk checksum catches it before the trailing
+        // whole-payload checksum is even reached by a streaming scan.
+        let manifest = ShardManifest {
+            entries: vec![(Fingerprint::from_raw(1), vec![7u8; 64])],
+            timings: Vec::new(),
+            ..sample()
+        };
+        let mut sealed = manifest.seal();
+        // Fixed header is 41 bytes into the body; chunk length frame is 8
+        // more; the first entry's payload starts 24 bytes after that.
+        let payload_at = blob::HEADER_LEN + 41 + 8 + 24;
+        sealed[payload_at] ^= 0xff;
+        assert_eq!(
+            ShardManifest::scan(&sealed[..], |_| {}),
+            Err(ManifestError::ChunkChecksum { chunk: 0 })
+        );
+    }
+
+    #[test]
+    fn unknown_balance_bytes_are_rejected() {
+        let manifest = sample();
+        let mut sealed = manifest.seal();
+        // The balance byte sits 24 bytes into the body. Re-seal so the
+        // checksums stay valid and only the mode byte is unknown.
+        let (_, body) = blob::open_any(&sealed, MANIFEST_CODEC_VERSION).unwrap();
+        let mut body = body.to_vec();
+        body[24] = 9;
+        sealed = blob::seal(
+            MANIFEST_CODEC_VERSION,
+            ShardManifest::seal_key(manifest.config, manifest.index, manifest.count),
+            &body,
+        );
+        // The chunk checksums are untouched, so only the mode byte trips.
+        assert_eq!(
+            ShardManifest::open(&sealed),
+            Err(ManifestError::BadBalance { code: 9 })
+        );
+    }
+
+    #[test]
     fn inconsistent_headers_are_rejected() {
         // index 0, index > count, count 0: all invalid. Build them by
-        // sealing a body by hand so the blob layer is satisfied.
+        // sealing a legacy body by hand so the blob layer is satisfied.
         for (index, count) in [(0u32, 2u32), (3, 2), (0, 0)] {
             let mut body = Vec::new();
             body.extend_from_slice(&7u128.to_le_bytes());
@@ -333,7 +926,7 @@ mod tests {
             body.extend_from_slice(&0u64.to_le_bytes()); // entries
             body.extend_from_slice(&0u64.to_le_bytes()); // timings
             let sealed = blob::seal(
-                MANIFEST_CODEC_VERSION,
+                MANIFEST_CODEC_V2,
                 ShardManifest::seal_key(Fingerprint::from_raw(7), index, count),
                 &body,
             );
@@ -356,7 +949,7 @@ mod tests {
         body.extend_from_slice(&0u64.to_le_bytes()); // entries
         body.extend_from_slice(&0u64.to_le_bytes()); // timings
         let wrong_key = ShardManifest::seal_key(manifest.config, manifest.index + 1, 9);
-        let sealed = blob::seal(MANIFEST_CODEC_VERSION, wrong_key, &body);
+        let sealed = blob::seal(MANIFEST_CODEC_V2, wrong_key, &body);
         assert_eq!(
             ShardManifest::open(&sealed),
             Err(ManifestError::KeyMismatch)
@@ -372,12 +965,14 @@ mod tests {
             ],
             ..sample()
         };
-        assert_eq!(
-            ShardManifest::open(&manifest.seal()),
-            Err(ManifestError::DuplicateEntry {
-                fingerprint: Fingerprint::from_raw(5)
-            })
-        );
+        for sealed in [manifest.seal(), manifest.seal_v2()] {
+            assert_eq!(
+                ShardManifest::open(&sealed),
+                Err(ManifestError::DuplicateEntry {
+                    fingerprint: Fingerprint::from_raw(5)
+                })
+            );
+        }
     }
 
     #[test]
@@ -394,11 +989,35 @@ mod tests {
     }
 
     #[test]
+    fn balance_parses_its_cli_spellings() {
+        assert_eq!(ShardBalance::parse("count"), Some(ShardBalance::Count));
+        assert_eq!(ShardBalance::parse("cost"), Some(ShardBalance::Cost));
+        assert_eq!(ShardBalance::parse("weight"), None);
+        for mode in [ShardBalance::Count, ShardBalance::Cost] {
+            assert_eq!(ShardBalance::from_code(mode.code()), Some(mode));
+            assert_eq!(ShardBalance::parse(mode.label()), Some(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(ShardBalance::from_code(7), None);
+    }
+
+    #[test]
     fn errors_render_their_cause() {
         assert!(ManifestError::KeyMismatch.to_string().contains("key"));
         assert!(ManifestError::BadShard { index: 3, count: 2 }
             .to_string()
             .contains("3/2"));
+        assert!(ManifestError::BadBalance { code: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(ManifestError::ChunkChecksum { chunk: 4 }
+            .to_string()
+            .contains("chunk 4"));
+        assert!(ManifestError::Io {
+            error: "broken pipe".into()
+        }
+        .to_string()
+        .contains("broken pipe"));
         assert!(ManifestError::from(BlobError::BadMagic)
             .to_string()
             .contains("envelope"));

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate bench regressions between two `STMS_BENCH_JSON` artifacts.
+
+  check_bench.py BASELINE FRESH [--threshold PCT]
+
+Both files are the flat `{label: nanoseconds-or-bytes}` documents the
+`stms-bench` harness writes (medians over its sample loop). The gate:
+
+  * every label in BASELINE must still exist in FRESH — a silently
+    dropped bench can never hide a regression;
+  * a FRESH value may exceed its BASELINE value by at most PCT percent
+    (default 25) — benches are medians, so the margin only has to absorb
+    machine-to-machine noise, not outlier samples;
+  * labels only in FRESH are allowed (and listed): new benches land in
+    the same PR as the code they measure, before any baseline knows them.
+
+Improvements of any size pass. Exits nonzero naming every violation, not
+just the first, so one CI run shows the whole damage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or not doc:
+        sys.exit(f"check_bench: {path}: expected a non-empty JSON object")
+    for label, value in doc.items():
+        if not isinstance(value, int) or value <= 0:
+            sys.exit(f"check_bench: {path}: {label!r} is not a positive integer")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed bench artifact (old)")
+    parser.add_argument("fresh", help="regenerated bench artifact (new)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max allowed regression on an existing label, in percent",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    limit = 1.0 + args.threshold / 100.0
+
+    failures = []
+    for label in sorted(baseline):
+        if label not in fresh:
+            failures.append(f"{label}: present in baseline but missing from fresh run")
+            continue
+        old, new = baseline[label], fresh[label]
+        ratio = new / old
+        verdict = "ok"
+        if ratio > limit:
+            verdict = f"REGRESSION (> +{args.threshold:g}%)"
+            failures.append(
+                f"{label}: {old} -> {new} ({ratio - 1.0:+.1%}, "
+                f"limit +{args.threshold:g}%)"
+            )
+        print(f"check_bench: {label}: {old} -> {new} ({ratio - 1.0:+.1%}) {verdict}")
+    for label in sorted(set(fresh) - set(baseline)):
+        print(f"check_bench: {label}: new label ({fresh[label]}), no baseline to gate")
+
+    if failures:
+        print(
+            f"check_bench: {len(failures)} violation(s):\n  "
+            + "\n  ".join(failures),
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"check_bench: {len(baseline)} baseline label(s) within +{args.threshold:g}%")
+
+
+if __name__ == "__main__":
+    main()

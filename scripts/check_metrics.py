@@ -6,11 +6,14 @@ Two modes:
 
   check_metrics.py SNAPSHOT [--require-counter NAME]...
                             [--require-histogram NAME]...
+                            [--require-gauge NAME]...
       Structural validation of one snapshot: schema tag, section layout,
       histogram internal consistency (bucket tallies sum to `count`,
       `max` <= `sum`, zero-count histograms are all-zero), plus any
-      required counters (value > 0) and histograms (count > 0) named on
-      the command line — the "nonzero phase timers" gate in CI.
+      required counters (value > 0), histograms (count > 0) and gauges
+      (present; a gauge may legitimately read zero — e.g. a perfect
+      calibration error — so only presence is gated) named on the command
+      line — the "nonzero phase timers" gate in CI.
 
   check_metrics.py --monotone SNAPSHOT SNAPSHOT...
       Asserts a sequence of snapshots taken from ONE process (e.g.
@@ -71,7 +74,7 @@ def load(path):
     return doc
 
 
-def check_required(path, doc, counters, histograms):
+def check_required(path, doc, counters, histograms, gauges):
     for name in counters:
         if doc["counters"].get(name, 0) <= 0:
             fail(f"{path}: required counter {name!r} is missing or zero")
@@ -79,6 +82,9 @@ def check_required(path, doc, counters, histograms):
         hist = doc["histograms"].get(name)
         if hist is None or hist["count"] <= 0:
             fail(f"{path}: required histogram {name!r} is missing or empty")
+    for name in gauges:
+        if name not in doc["gauges"]:
+            fail(f"{path}: required gauge {name!r} is missing")
 
 
 def check_monotone(paths, docs):
@@ -122,6 +128,13 @@ def main():
         help="histogram that must be present with a nonzero count",
     )
     parser.add_argument(
+        "--require-gauge",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="gauge that must be present (any value, including zero)",
+    )
+    parser.add_argument(
         "--monotone",
         action="store_true",
         help="assert counters and histograms never decrease across the sequence",
@@ -130,7 +143,9 @@ def main():
 
     docs = [load(path) for path in args.snapshots]
     for path, doc in zip(args.snapshots, docs):
-        check_required(path, doc, args.require_counter, args.require_histogram)
+        check_required(
+            path, doc, args.require_counter, args.require_histogram, args.require_gauge
+        )
     if args.monotone:
         if len(docs) < 2:
             fail("--monotone needs at least two snapshots")
